@@ -1,0 +1,60 @@
+"""Ablation: adaptive tracking-frame selection vs a pinned fraction.
+
+The paper predicts the per-cycle trackable count from the previous cycle
+(p = h/f).  This bench compares that against pinning the fraction to a
+wrong constant: too low wastes tracker budget (more held frames), too
+high plans work that gets cancelled mid-cycle.
+"""
+
+from conftest import run_once
+
+from repro.core.config import PipelineConfig
+from repro.experiments.runners import run_method_on_suite
+from repro.experiments.workloads import quick_suite
+
+
+def test_ablation_frame_selection(benchmark):
+    suite = quick_suite(seed=515, frames=240)
+
+    def compute():
+        out = {}
+        out["adaptive"] = run_method_on_suite("mpdt-512", suite, keep_runs=True)
+        for fraction in (0.15, 0.95):
+            config = PipelineConfig(fixed_tracking_fraction=fraction)
+            out[f"fixed-{fraction}"] = run_method_on_suite(
+                "mpdt-512", suite, config, keep_runs=True
+            )
+        return out
+
+    results = run_once(benchmark, compute)
+    print()
+    for name, result in results.items():
+        held = sum(r.source_counts()["held"] for r in result.runs)
+        cancelled = sum(
+            sum(c.planned_tracked - c.tracked for c in r.cycles) for r in result.runs
+        )
+        print(
+            f"{name:12s} acc={result.accuracy:.3f} held={held} "
+            f"cancelled_tasks={cancelled}"
+        )
+
+    # A deliberately low pinned fraction leaves more frames held...
+    held_low = sum(
+        r.source_counts()["held"] for r in results["fixed-0.15"].runs
+    )
+    held_adaptive = sum(
+        r.source_counts()["held"] for r in results["adaptive"].runs
+    )
+    assert held_low > held_adaptive
+    # ...a deliberately high one gets its plans cancelled far more often.
+    cancelled_high = sum(
+        sum(c.planned_tracked - c.tracked for c in r.cycles)
+        for r in results["fixed-0.95"].runs
+    )
+    cancelled_adaptive = sum(
+        sum(c.planned_tracked - c.tracked for c in r.cycles)
+        for r in results["adaptive"].runs
+    )
+    assert cancelled_high > 2 * max(cancelled_adaptive, 1)
+    # And the adaptive rule is at least as accurate as the bad constants.
+    assert results["adaptive"].accuracy >= results["fixed-0.15"].accuracy - 0.03

@@ -1,0 +1,61 @@
+"""Extension bench: multi-model adaptation (full YOLOv3 <-> tiny).
+
+The paper §IV-D3 argues for switching input sizes rather than models
+because models cannot be co-resident in mobile memory and reloading is
+expensive.  This bench measures that claim: a policy allowed to drop to
+YOLOv3-tiny on extreme motion pays the reload latency and tiny's ~0.3 F1,
+and must not beat the paper's size-only AdaVP.
+"""
+
+from conftest import run_once
+
+from repro.core.adavp import AdaVP
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import MPDTPipeline
+from repro.core.multimodel import MultiModelPolicy
+from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+from repro.experiments.runners import evaluate_run
+from repro.experiments.workloads import quick_suite
+from repro.video.dataset import make_clip
+
+
+def test_extension_multimodel(benchmark):
+    suite = quick_suite(seed=1122, frames=240)
+    # Plus one extreme-speed clip where tiny's fast cycle could plausibly pay.
+    extreme = make_clip("racetrack", seed=1123, num_frames=240)
+    clips = list(suite.clips) + [extreme]
+
+    def compute():
+        results = {}
+        for label, factory in (
+            ("adavp (sizes only)", lambda: AdaVP()._pipeline),
+            (
+                "multi-model (aggressive tiny)",
+                lambda: MPDTPipeline(
+                    MultiModelPolicy(DEFAULT_THRESHOLD_TABLE, tiny_velocity=3.0),
+                    PipelineConfig(),
+                    method_name="multimodel",
+                ),
+            ),
+        ):
+            accuracies = []
+            tiny_cycles = 0
+            for clip in clips:
+                run = factory().run(clip)
+                accuracy, _ = evaluate_run(run, clip)
+                accuracies.append(accuracy)
+                tiny_cycles += run.profile_usage().get("yolov3-tiny-320", 0)
+            results[label] = (sum(accuracies) / len(accuracies), tiny_cycles)
+        return results
+
+    results = run_once(benchmark, compute)
+    print()
+    for label, (accuracy, tiny_cycles) in results.items():
+        print(f"{label:32s} acc={accuracy:.3f} tiny_cycles={tiny_cycles}")
+
+    size_only = results["adavp (sizes only)"][0]
+    multimodel, tiny_cycles = results["multi-model (aggressive tiny)"]
+    # The aggressive policy must actually have tried tiny on the extreme clip...
+    assert tiny_cycles > 0
+    # ...and, per the paper's argument, it should not beat size-only AdaVP.
+    assert size_only >= multimodel - 0.02

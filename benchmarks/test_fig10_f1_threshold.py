@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 10 (accuracy under F1 thresholds 0.7 vs 0.75)."""
+
+from conftest import run_once
+
+from repro.experiments.runners import evaluate_run
+
+_METHODS = ("adavp", "mpdt-320", "mpdt-416", "mpdt-512", "mpdt-608")
+
+
+def test_fig10_f1_threshold(benchmark, method_cache, eval_suite):
+    def compute():
+        table = {}
+        for method in _METHODS:
+            result = method_cache.get(method)
+            strict = [
+                evaluate_run(run, clip, alpha=0.75)[0]
+                for run, clip in zip(result.runs, eval_suite)
+            ]
+            table[method] = (result.accuracy, sum(strict) / len(strict))
+        return table
+
+    table = run_once(benchmark, compute)
+    print()
+    print(f"{'method':12s} alpha=0.70  alpha=0.75")
+    for method, (loose, strict) in table.items():
+        print(f"{method:12s} {loose:.3f}       {strict:.3f}")
+
+    for method, (loose, strict) in table.items():
+        # A stricter threshold can only reduce accuracy.
+        assert strict <= loose + 1e-9, method
+    # AdaVP still tops every fixed setting under the stricter threshold
+    # (paper: the gain is even larger at alpha=0.75).
+    adavp_strict = table["adavp"][1]
+    for method in _METHODS[1:]:
+        # Small tolerance: AdaVP's margin over the best fixed setting is
+        # within suite noise here (see EXPERIMENTS.md deviations).
+        assert adavp_strict >= table[method][1] - 0.02, method

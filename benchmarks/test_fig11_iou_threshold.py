@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 11 (accuracy under IoU thresholds 0.5 vs 0.6)."""
+
+from conftest import run_once
+
+from repro.experiments.runners import evaluate_run
+
+_METHODS = ("adavp", "mpdt-320", "mpdt-416", "mpdt-512", "mpdt-608")
+
+
+def test_fig11_iou_threshold(benchmark, method_cache, eval_suite):
+    def compute():
+        table = {}
+        for method in _METHODS:
+            result = method_cache.get(method)
+            strict = [
+                evaluate_run(run, clip, iou_threshold=0.6)[0]
+                for run, clip in zip(result.runs, eval_suite)
+            ]
+            table[method] = (result.accuracy, sum(strict) / len(strict))
+        return table
+
+    table = run_once(benchmark, compute)
+    print()
+    print(f"{'method':12s} IoU=0.5    IoU=0.6")
+    for method, (loose, strict) in table.items():
+        print(f"{method:12s} {loose:.3f}      {strict:.3f}")
+
+    for method, (loose, strict) in table.items():
+        # Stricter IoU identifies true positives more strictly (paper §VI-D).
+        assert strict <= loose + 1e-9, method
+    adavp_strict = table["adavp"][1]
+    for method in _METHODS[1:]:
+        # Small tolerance: AdaVP's margin over the best fixed setting is
+        # within suite noise here (see EXPERIMENTS.md deviations).
+        assert adavp_strict >= table[method][1] - 0.02, method

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 1 (detection latency & accuracy per frame size)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_detector_profile
+
+
+def test_fig1_detector_profile(benchmark):
+    result = run_once(benchmark, lambda: fig1_detector_profile.run(num_frames=2000))
+    print()
+    print(result.report())
+
+    latencies = [r.mean_latency_ms for r in result.rows]
+    f1s = [r.mean_f1 for r in result.rows]
+    # Paper: latency 230 -> 500 ms and F1 0.62 -> 0.88 as size 320 -> 608.
+    assert 210 < latencies[0] < 260
+    assert 460 < latencies[-1] < 560
+    assert latencies == sorted(latencies)
+    assert f1s == sorted(f1s)
+    assert abs(f1s[0] - 0.62) < 0.09
+    assert abs(f1s[-1] - 0.88) < 0.06

@@ -1,0 +1,48 @@
+"""Bench: regenerate Fig. 6 (overall accuracy, 13 methods).
+
+This is the paper's headline result.  Shape assertions:
+
+- AdaVP is at least as accurate as every fixed-setting MPDT;
+- the best fixed setting is 512 or its close neighbour 608 (paper: 512);
+- MPDT beats MARLIN and no-tracking at every setting;
+- AdaVP's gain over MARLIN is large (paper: +20.4 % .. +43.9 %).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6_overall import FIG6_METHODS, Fig6Result
+
+
+def test_fig6_overall(benchmark, method_cache):
+    def compute() -> Fig6Result:
+        results = {name: method_cache.get(name) for name in FIG6_METHODS}
+        return Fig6Result(results=results, alpha=0.7, iou_threshold=0.5)
+
+    result = run_once(benchmark, compute)
+    print()
+    print(result.report())
+
+    adavp = result.accuracy("adavp")
+    # AdaVP ties or beats every fixed MPDT setting (paper: beats by 13-34%;
+    # in this substrate the margin over the best fixed setting is small —
+    # see EXPERIMENTS.md "Known deviations" — so a 1.5-point tolerance
+    # absorbs suite-level noise while still catching regressions).
+    for size in (320, 416, 512, 608):
+        assert adavp >= result.accuracy(f"mpdt-{size}") - 0.015, size
+
+    # The best fixed setting is one of the two largest (paper: 512).
+    assert result.best_fixed_mpdt() in ("mpdt-512", "mpdt-608")
+    assert result.accuracy("mpdt-512") > result.accuracy("mpdt-416")
+    assert result.accuracy("mpdt-416") > result.accuracy("mpdt-320")
+
+    # MPDT > MARLIN and > no-tracking at every setting (Fig. 6).
+    for size in (320, 416, 512, 608):
+        assert result.accuracy(f"mpdt-{size}") > result.accuracy(f"marlin-{size}")
+        assert result.accuracy(f"mpdt-{size}") > result.accuracy(
+            f"no-tracking-{size}"
+        )
+
+    # AdaVP's advantage over MARLIN is substantial.
+    lo, hi = result.adavp_gain_over_marlin()
+    assert lo > 0.10
+    assert hi > 0.30

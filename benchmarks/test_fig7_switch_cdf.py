@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 7 (CDF of cycles per model-setting switch)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7_fig8_adaptation import AdaptationBehaviour
+
+
+def _collect(method_cache) -> AdaptationBehaviour:
+    result = method_cache.get("adavp")
+    gaps: list[int] = []
+    usage: dict[str, int] = {}
+    for run in result.runs:
+        gaps.extend(run.cycles_between_switches())
+        for name, count in run.profile_usage().items():
+            usage[name] = usage.get(name, 0) + count
+    return AdaptationBehaviour(switch_gaps=tuple(gaps), usage=usage)
+
+
+def test_fig7_switch_cdf(benchmark, method_cache):
+    behaviour = run_once(benchmark, lambda: _collect(method_cache))
+    print()
+    print(behaviour.report())
+
+    cdf = dict(behaviour.cdf())
+    assert behaviour.switch_gaps, "AdaVP never switched settings"
+    # Paper: ~50 % of switches happen after a single cycle...
+    assert cdf[1] > 0.25
+    # ...and ~90 % within 20 cycles.
+    assert cdf[20] > 0.8
+    # CDF is monotone and bounded.
+    values = [cdf[k] for k in sorted(cdf)]
+    assert values == sorted(values)
+    assert values[-1] <= 1.0

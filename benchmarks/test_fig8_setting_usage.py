@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 8 (usage share per DNN model setting)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7_fig8_adaptation import AdaptationBehaviour
+
+
+def _collect(method_cache) -> AdaptationBehaviour:
+    result = method_cache.get("adavp")
+    usage: dict[str, int] = {}
+    gaps: list[int] = []
+    for run in result.runs:
+        gaps.extend(run.cycles_between_switches())
+        for name, count in run.profile_usage().items():
+            usage[name] = usage.get(name, 0) + count
+    return AdaptationBehaviour(switch_gaps=tuple(gaps), usage=usage)
+
+
+def test_fig8_setting_usage(benchmark, method_cache):
+    behaviour = run_once(benchmark, lambda: _collect(method_cache))
+    print()
+    print(behaviour.report())
+
+    fractions = behaviour.usage_fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    # Paper: the 512 and 608 settings dominate usage...
+    big = fractions.get("yolov3-512", 0.0) + fractions.get("yolov3-608", 0.0)
+    assert big > 0.5
+    # ...and every setting the adaptation ever chose is a real setting.
+    valid = {"yolov3-320", "yolov3-416", "yolov3-512", "yolov3-608"}
+    assert set(fractions) <= valid

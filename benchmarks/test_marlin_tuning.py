@@ -1,0 +1,25 @@
+"""Bench: MARLIN trigger-velocity sweep (paper §VI-A tuning procedure)."""
+
+from conftest import run_once
+
+from repro.experiments import marlin_tuning
+from repro.experiments.workloads import quick_suite
+
+
+def test_marlin_trigger_sweep(benchmark):
+    suite = quick_suite(seed=919, frames=240)
+    result = run_once(
+        benchmark,
+        lambda: marlin_tuning.run(
+            setting=512, candidates=(0.6, 1.0, 1.5, 2.2, 3.2), suite=suite
+        ),
+    )
+    print()
+    print(result.report())
+
+    accuracies = result.accuracies
+    assert len(accuracies) == 5
+    # The sweep is informative: the best threshold clearly beats the worst
+    # (otherwise MARLIN's trigger would not matter at all).
+    assert max(accuracies.values()) > min(accuracies.values())
+    assert result.best_threshold in accuracies

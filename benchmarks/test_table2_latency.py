@@ -1,0 +1,26 @@
+"""Bench: regenerate Table II (component latencies)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_latency
+
+
+def test_table2_latency(benchmark):
+    result = run_once(benchmark, lambda: table2_latency.run(num_frames=240))
+    print()
+    print(result.report())
+
+    rows = {r.component: r.time_ms for r in result.rows}
+    # Paper Table II rows.
+    assert rows["Good feature extraction"] == "40"
+    assert rows["Overlay latency"] == "50"
+    low, high = rows["YOLOv3 detection latency"].split("-")
+    assert 200 <= int(low) <= 260
+    assert 450 <= int(high) <= 560
+    track_low, track_high = rows["Tracking latency"].split("-")
+    assert 5 <= int(track_low) <= 9
+    assert 15 <= int(track_high) <= 25
+    # The observed in-pipeline detection latencies bracket the model's span.
+    observed_low, observed_high = result.observed_detection_ms
+    assert observed_low < 300
+    assert observed_high > 420

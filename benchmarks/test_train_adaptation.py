@@ -1,0 +1,36 @@
+"""Bench: the adaptation-threshold training procedure (paper §IV-D3).
+
+Runs the trainer on a reduced corpus and checks the learned thresholds
+have the right structure (ordered, in a plausible velocity range, and
+broadly consistent with the shipped pretrained table's v1 band).
+"""
+
+from conftest import run_once
+
+from repro.core.adaptation import collect_training_data, train_threshold_table
+from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+from repro.experiments.workloads import training_suite
+
+
+def test_train_adaptation(benchmark):
+    suite = training_suite(seed=101, frames=150)
+
+    def compute():
+        records = collect_training_data(suite.clips)
+        return records, train_threshold_table(records)
+
+    records, table = run_once(benchmark, compute)
+    print()
+    print(f"trained on {len(records)} chunk records from {len(suite)} clips")
+    for name in ("yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320"):
+        th = table[name]
+        print(f"{name}: v1={th.v1:.3f} v2={th.v2:.3f} v3={th.v3:.3f}")
+
+    for name, thresholds in table.items():
+        assert 0.0 <= thresholds.v1 <= thresholds.v2 <= thresholds.v3
+        # Velocities on this corpus live in roughly [0, 6] px/frame.
+        assert thresholds.v3 < 8.0
+    # The 608-vs-512 boundary lands in the same band as the shipped table
+    # (sub-pixel-per-frame content is "slow").
+    shipped_v1 = DEFAULT_THRESHOLD_TABLE["yolov3-512"].v1
+    assert abs(table["yolov3-512"].v1 - shipped_v1) < 1.0

@@ -1,0 +1,54 @@
+"""AR-style wildlife filming: watch the model adaptation react.
+
+Run with::
+
+    python examples/ar_wildlife.py
+
+An augmented-reality overlay on a handheld wildlife shoot: the camera is
+calm while the animals graze, then they bolt.  This example builds such a
+two-phase clip, runs AdaVP, and prints the per-cycle timeline — measured
+content velocity (Eq. 3) and the input size the adaptation chose — so you
+can see the system downshift to a faster model exactly when the scene
+speeds up (and what that buys over a fixed setting).
+"""
+
+from repro.core import AdaVP, FixedSettingPolicy, MPDTPipeline
+from repro.experiments.runners import evaluate_run
+from repro.experiments.workloads import make_multiphase_clip
+
+
+def main() -> None:
+    clip = make_multiphase_clip(
+        "wildlife",
+        seed=21,
+        num_frames=360,
+        phases=[(0.0, 0.4, 0.6), (0.5, 2.2, 1.6)],  # grazing, then bolting
+        name="wildlife-two-phase",
+    )
+    print(f"clip: {clip.name}, {clip.num_frames} frames; dynamics change at "
+          f"frame {clip.config.phases[1].start_frame}")
+
+    system = AdaVP()
+    run = system.process(clip)
+
+    print("\nper-cycle adaptation timeline:")
+    print(f"{'cycle':>5} {'frame':>6} {'setting':>12} {'velocity':>9} {'switch':>7}")
+    for cycle in run.cycles:
+        velocity = "-" if cycle.velocity is None else f"{cycle.velocity:.2f}"
+        switch = "->" + cycle.next_profile.split("-")[-1] if cycle.switched else ""
+        print(
+            f"{cycle.index:>5} {cycle.detect_frame:>6} "
+            f"{cycle.profile_name:>12} {velocity:>9} {switch:>7}"
+        )
+
+    adavp_acc, _ = evaluate_run(run, clip)
+    fixed_run = MPDTPipeline(FixedSettingPolicy(608)).run(clip)
+    fixed_acc, _ = evaluate_run(fixed_run, clip)
+    print(f"\nAdaVP accuracy:      {adavp_acc:.3f}")
+    print(f"fixed 608 accuracy:  {fixed_acc:.3f}")
+    print("(the fixed large model suffers once the animals bolt; AdaVP "
+          "downshifts and keeps calibrating the tracker)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Reproduce every paper artifact at a reduced scale, in one run.
+
+Run with::
+
+    python examples/reproduce_paper.py            # ~10-15 min on a laptop
+
+Prints Fig. 1, Fig. 2, Table II, Fig. 6 (subset of methods), Fig. 7/8 and
+Table III in sequence.  The benchmark suite (``pytest benchmarks/
+--benchmark-only``) is the full-scale version with shape assertions.
+"""
+
+import time
+
+from repro.experiments import (
+    fig1_detector_profile,
+    fig2_tracking_decay,
+    table2_latency,
+    table3_energy,
+)
+from repro.experiments.fig6_overall import run as run_fig6
+from repro.experiments.fig7_fig8_adaptation import run as run_fig78
+from repro.experiments.workloads import evaluation_suite
+
+
+def main() -> None:
+    started = time.time()
+
+    def stamp(label: str) -> None:
+        print(f"\n===== {label} ({time.time() - started:.0f}s) " + "=" * 20)
+
+    stamp("Fig. 1")
+    print(fig1_detector_profile.run(num_frames=1000).report())
+
+    stamp("Fig. 2")
+    print(fig2_tracking_decay.run(repeats=5).report())
+
+    stamp("Table II")
+    print(table2_latency.run(num_frames=150).report())
+
+    suite = evaluation_suite(frames=240)
+
+    stamp("Fig. 6 (key methods)")
+    print(
+        run_fig6(
+            suite=suite,
+            methods=(
+                "adavp", "mpdt-320", "mpdt-416", "mpdt-512", "mpdt-608",
+                "marlin-512", "no-tracking-512",
+            ),
+        ).report()
+    )
+
+    stamp("Fig. 7 / Fig. 8")
+    print(run_fig78(suite=suite).report())
+
+    stamp("Table III")
+    print(
+        table3_energy.run(
+            suite=suite,
+            methods=(
+                "adavp", "mpdt-512", "marlin-512",
+                "continuous-tiny-320", "continuous-320",
+            ),
+        ).report()
+    )
+
+    print(f"\nall artifacts regenerated in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

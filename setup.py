@@ -1,0 +1,9 @@
+"""Thin shim so editable installs work without the `wheel` package.
+
+`pip install -e .` uses PEP 517 build_editable, which needs bdist_wheel;
+in offline environments without `wheel`, `python setup.py develop` (or the
+.pth fallback documented in README) installs the package equivalently.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""AdaVP reproduction: continuous, real-time object detection on mobile
+devices without offloading (Liu, Ding, Du — ICDCS 2020).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+- :mod:`repro.core` — AdaVP, the MPDT pipeline, adaptation training
+- :mod:`repro.video` — synthetic video scenarios, clips, suites
+- :mod:`repro.vision` — Shi-Tomasi features + pyramidal Lucas-Kanade
+- :mod:`repro.detection` — the calibrated simulated YOLOv3
+- :mod:`repro.tracking` — the paper's object tracker and Eq. 3 velocity
+- :mod:`repro.baselines` — MARLIN, detection-only, continuous YOLO
+- :mod:`repro.metrics` — F1/accuracy metrics and the TX2 energy model
+- :mod:`repro.experiments` — workload suites and per-figure runners
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import AdaVP, FixedSettingPolicy, MPDTPipeline, PipelineConfig
+from repro.video import make_clip
+
+__all__ = [
+    "AdaVP",
+    "FixedSettingPolicy",
+    "MPDTPipeline",
+    "PipelineConfig",
+    "make_clip",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Diagnostics for pipeline runs: where did the accuracy go?
+
+Downstream users tuning AdaVP on their own workloads need more than a
+single accuracy number.  :func:`diagnose` decomposes a run the way the
+paper's discussion does — per result source (fresh detection vs tracked vs
+held), per result age, and per cycle — so a regression can be attributed
+to detection quality, tracking decay, or scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.accuracy import frame_f1_series
+from repro.runtime.simulator import PipelineRun
+from repro.video.dataset import VideoClip
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Accuracy statistics for one result source ("detector"/"tracker"/...)."""
+
+    count: int
+    mean_f1: float
+    accuracy: float  # fraction of this source's frames with F1 > alpha
+
+
+@dataclass(frozen=True)
+class RunDiagnosis:
+    """Decomposition of one pipeline run's accuracy."""
+
+    method: str
+    clip_name: str
+    alpha: float
+    overall_accuracy: float
+    overall_mean_f1: float
+    by_source: dict[str, SourceStats]
+    f1_by_age: dict[str, float]  # age bucket -> mean F1
+    mean_cycle_frames: float
+    mean_detection_latency: float
+
+    def report(self) -> str:
+        lines = [
+            f"run diagnosis: {self.method} on {self.clip_name}",
+            f"  accuracy (F1>{self.alpha}): {self.overall_accuracy:.3f}   "
+            f"mean F1: {self.overall_mean_f1:.3f}",
+            f"  cycle: {self.mean_cycle_frames:.1f} frames, detection "
+            f"{self.mean_detection_latency * 1e3:.0f} ms",
+            "  by source:",
+        ]
+        for source, stats in sorted(self.by_source.items()):
+            lines.append(
+                f"    {source:9s} n={stats.count:4d}  meanF1={stats.mean_f1:.3f}  "
+                f"acc={stats.accuracy:.3f}"
+            )
+        lines.append("  by result age (frames since the seeding detection):")
+        for bucket, value in self.f1_by_age.items():
+            lines.append(f"    age {bucket:7s} meanF1={value:.3f}")
+        return "\n".join(lines)
+
+
+_AGE_BUCKETS = ((0, 0), (1, 3), (4, 7), (8, 15), (16, 10**9))
+
+
+def diagnose(
+    run: PipelineRun,
+    clip: VideoClip,
+    alpha: float = 0.7,
+    iou_threshold: float = 0.5,
+) -> RunDiagnosis:
+    """Decompose a run's accuracy by source and by result age."""
+    if run.num_frames != clip.num_frames:
+        raise ValueError("run and clip frame counts differ")
+    annotations = clip.scene.annotations()
+    f1 = frame_f1_series(run.detections_per_frame(), annotations, iou_threshold)
+
+    by_source: dict[str, SourceStats] = {}
+    for source in {r.source for r in run.results}:
+        values = np.asarray(
+            [s for r, s in zip(run.results, f1) if r.source == source]
+        )
+        by_source[source] = SourceStats(
+            count=int(values.size),
+            mean_f1=float(values.mean()) if values.size else 0.0,
+            accuracy=float(np.mean(values > alpha)) if values.size else 0.0,
+        )
+
+    # Result age: frames since the detection that seeded the displayed boxes.
+    detect_frames = sorted(c.detect_frame for c in run.cycles)
+    ages = np.empty(run.num_frames, dtype=np.int64)
+    last = -1
+    pointer = 0
+    for index in range(run.num_frames):
+        while pointer < len(detect_frames) and detect_frames[pointer] <= index:
+            last = detect_frames[pointer]
+            pointer += 1
+        ages[index] = index - last if last >= 0 else 10**9
+    f1_by_age: dict[str, float] = {}
+    for low, high in _AGE_BUCKETS:
+        mask = (ages >= low) & (ages <= high)
+        if mask.any():
+            label = f"{low}" if low == high else f"{low}-{'inf' if high > 10**8 else high}"
+            f1_by_age[label] = float(f1[mask].mean())
+
+    cycle_gaps = [
+        b.detect_frame - a.detect_frame for a, b in zip(run.cycles, run.cycles[1:])
+    ]
+    return RunDiagnosis(
+        method=run.method,
+        clip_name=run.clip_name,
+        alpha=alpha,
+        overall_accuracy=float(np.mean(f1 > alpha)),
+        overall_mean_f1=float(f1.mean()),
+        by_source=by_source,
+        f1_by_age=f1_by_age,
+        mean_cycle_frames=float(np.mean(cycle_gaps)) if cycle_gaps else 0.0,
+        mean_detection_latency=float(
+            np.mean([c.detection_latency for c in run.cycles])
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Baseline systems the paper compares against (§VI-A).
+
+- :mod:`repro.baselines.marlin` — MARLIN [SenSys'19]: detector and tracker
+  run *sequentially*; the detector is re-triggered by a scene-change
+  threshold on the same Eq. 3 velocity signal.
+- :mod:`repro.baselines.no_tracking` — detection only; skipped frames hold
+  the previous detection result.
+- :mod:`repro.baselines.continuous` — the DNN on every frame with no
+  skipping (not real-time; used in the energy table).
+
+Fixed-setting MPDT — the paper's fourth comparison point — is
+:class:`repro.core.mpdt.MPDTPipeline` with a
+:class:`~repro.core.mpdt.FixedSettingPolicy`.
+"""
+
+from repro.baselines.marlin import MarlinConfig, MarlinPipeline
+from repro.baselines.no_tracking import NoTrackingPipeline
+from repro.baselines.continuous import ContinuousDetectionPipeline
+
+__all__ = [
+    "MarlinConfig",
+    "MarlinPipeline",
+    "NoTrackingPipeline",
+    "ContinuousDetectionPipeline",
+]

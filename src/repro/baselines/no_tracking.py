@@ -1,0 +1,94 @@
+"""Detection-only baseline ("Without Tracking", paper §VI-A).
+
+No tracker exists: the DNN always fetches the newest frame, and every
+frame between two DNN executions holds the previous detection result
+(the Chameleon-style result reuse the paper cites as [33]).  On fast
+content the held boxes go stale quickly, which is exactly the effect the
+paper uses this baseline to expose.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.detection.detector import SimulatedYOLOv3
+from repro.detection.profiles import get_profile
+from repro.metrics.energy import ActivityLog
+from repro.runtime.simulator import (
+    SOURCE_DETECTOR,
+    CycleRecord,
+    FrameResult,
+    PipelineRun,
+    ResultBoard,
+)
+from repro.video.dataset import VideoClip
+from repro.video.source import CameraSource
+
+
+class NoTrackingPipeline:
+    """Detect the newest frame, hold the result for skipped frames."""
+
+    def __init__(
+        self,
+        setting: str | int = 512,
+        config: PipelineConfig | None = None,
+        method_name: str | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        profile = get_profile(setting)
+        self.setting = profile.name
+        self.method_name = method_name or f"no-tracking-{profile.name}"
+
+    def run(self, clip: VideoClip) -> PipelineRun:
+        cfg = self.config
+        source = CameraSource(clip)
+        detector = SimulatedYOLOv3(
+            self.setting, seed=cfg.detector_seed,
+            frame_width=clip.config.frame_width,
+            frame_height=clip.config.frame_height,
+        )
+        board = ResultBoard(clip.num_frames)
+        activity = ActivityLog()
+        cycles: list[CycleRecord] = []
+
+        t = 0.0
+        frame = 0
+        while True:
+            detection = detector.detect(clip.annotation(frame))
+            detect_start = t
+            t += detection.latency
+            activity.add_gpu(detection.profile_name, detection.latency)
+            activity.add_cpu("detect_assist", detection.latency)
+            activity.add_cpu("overlay", cfg.latency.overlay)
+            board.post(FrameResult(frame, detection.detections, SOURCE_DETECTOR, t))
+            cycles.append(
+                CycleRecord(
+                    index=len(cycles),
+                    profile_name=detection.profile_name,
+                    detect_frame=frame,
+                    detect_start=detect_start,
+                    detect_end=t,
+                    buffered_frames=0,
+                    planned_tracked=0,
+                    tracked=0,
+                    velocity=None,
+                    next_profile=detection.profile_name,
+                )
+            )
+            next_frame = source.newest_frame_at(t)
+            if next_frame <= frame:
+                if frame >= clip.num_frames - 1:
+                    break
+                next_frame = frame + 1
+                t = max(t, source.capture_time(next_frame))
+            frame = next_frame
+
+        activity.duration = max(t, source.duration)
+        return PipelineRun(
+            method=self.method_name,
+            clip_name=clip.name,
+            num_frames=clip.num_frames,
+            fps=clip.fps,
+            results=board.finalize(),
+            cycles=cycles,
+            activity=activity,
+        )

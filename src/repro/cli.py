@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro scenarios                        # list scenario presets
+    python -m repro show intersection --frame 10     # ASCII-render a frame
+    python -m repro run adavp --scenario racetrack    # run a method on a clip
+    python -m repro compare --scenario city_street    # AdaVP vs baselines
+    python -m repro fig 6                            # regenerate a paper figure
+    python -m repro table 3                          # regenerate a paper table
+
+The figure/table subcommands use reduced default workloads so they finish
+in minutes on a laptop; the benchmark suite (``pytest benchmarks/``) is the
+authoritative regeneration path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runners import evaluate_run, make_method, run_method_on_clip
+from repro.video.dataset import make_clip
+from repro.video.library import list_scenarios
+
+
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    from repro.video.library import make_scenario
+
+    print(f"{'scenario':24s} {'speed hint':>10}  composition")
+    for name in list_scenarios():
+        config = make_scenario(name)
+        labels = ", ".join(sorted({s.label for s in config.spawns}))
+        print(f"{name:24s} {config.content_speed_hint():>10.2f}  {labels}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.detection import SimulatedYOLOv3
+    from repro.viz import frame_to_ascii
+
+    clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frame + 1)
+    frame = clip.frame(args.frame)
+    detector = SimulatedYOLOv3(args.setting, seed=0)
+    result = detector.detect(clip.annotation(args.frame))
+    print(frame_to_ascii(frame, width=args.width, boxes=result.detections))
+    print(f"\n{len(result.detections)} detections by {result.profile_name} "
+          f"(latency {result.latency * 1e3:.0f} ms); "
+          f"{len(clip.annotation(args.frame).objects)} ground-truth objects")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
+    method = make_method(args.method)
+    run = run_method_on_clip(method, clip)
+    accuracy, f1 = evaluate_run(run, clip)
+    counts = run.source_counts()
+    print(f"method:    {args.method}")
+    print(f"clip:      {clip.name} ({clip.num_frames} frames)")
+    print(f"accuracy:  {accuracy:.3f} (frames with F1>0.7)")
+    print(f"mean F1:   {f1.mean():.3f}")
+    print(f"frames:    {counts['detector']} detected / {counts['tracker']} tracked "
+          f"/ {counts['held']} held")
+    if run.profile_usage():
+        print(f"settings:  {dict(sorted(run.profile_usage().items()))}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+
+    clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
+    rows = []
+    for name in ("adavp", "mpdt-512", "mpdt-608", "marlin-512", "no-tracking-512"):
+        run = run_method_on_clip(make_method(name), clip)
+        accuracy, f1 = evaluate_run(run, clip)
+        rows.append((name, accuracy, float(f1.mean())))
+        print(f"ran {name}", file=sys.stderr)
+    print(format_table(f"Comparison on {clip.name}", ("method", "accuracy", "mean_F1"), rows))
+    return 0
+
+
+_FIGURES = {
+    "1": ("repro.experiments.fig1_detector_profile", "run", {"num_frames": 1000}),
+    "2": ("repro.experiments.fig2_tracking_decay", "run", {}),
+    "5": ("repro.experiments.fig5_fig9_traces", "run_fig5", {}),
+    "9": ("repro.experiments.fig5_fig9_traces", "run_fig9", {}),
+}
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    import importlib
+
+    if args.number in _FIGURES:
+        module_name, func_name, kwargs = _FIGURES[args.number]
+        module = importlib.import_module(module_name)
+        result = getattr(module, func_name)(**kwargs)
+        print(result.report())
+        return 0
+    if args.number in ("6", "7", "8", "10", "11"):
+        from repro.experiments.workloads import evaluation_suite
+
+        suite = evaluation_suite(frames=args.frames)
+        if args.number == "6":
+            from repro.experiments.fig6_overall import run
+
+            print(run(suite=suite).report())
+        elif args.number in ("7", "8"):
+            from repro.experiments.fig7_fig8_adaptation import run
+
+            print(run(suite=suite).report())
+        elif args.number == "10":
+            from repro.experiments.fig10_fig11_thresholds import run_fig10
+
+            print(run_fig10(suite=suite).report())
+        else:
+            from repro.experiments.fig10_fig11_thresholds import run_fig11
+
+            print(run_fig11(suite=suite).report())
+        return 0
+    print(f"unknown figure {args.number!r}; know 1, 2, 5, 6, 7, 8, 9, 10, 11",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == "2":
+        from repro.experiments.table2_latency import run
+
+        print(run().report())
+        return 0
+    if args.number == "3":
+        from repro.experiments.table3_energy import run
+        from repro.experiments.workloads import evaluation_suite
+
+        print(run(suite=evaluation_suite(frames=args.frames)).report())
+        return 0
+    print(f"unknown table {args.number!r}; know 2 and 3", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list scenario presets").set_defaults(
+        func=_cmd_scenarios
+    )
+
+    show = sub.add_parser("show", help="ASCII-render one frame with detections")
+    show.add_argument("scenario")
+    show.add_argument("--frame", type=int, default=0)
+    show.add_argument("--seed", type=int, default=7)
+    show.add_argument("--setting", default="yolov3-512")
+    show.add_argument("--width", type=int, default=96)
+    show.set_defaults(func=_cmd_show)
+
+    run = sub.add_parser("run", help="run one method over one clip")
+    run.add_argument("method")
+    run.add_argument("--scenario", default="intersection")
+    run.add_argument("--frames", type=int, default=300)
+    run.add_argument("--seed", type=int, default=7)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="AdaVP vs baselines on one clip")
+    compare.add_argument("--scenario", default="intersection")
+    compare.add_argument("--frames", type=int, default=300)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.set_defaults(func=_cmd_compare)
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number")
+    fig.add_argument("--frames", type=int, default=240)
+    fig.set_defaults(func=_cmd_fig)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number")
+    table.add_argument("--frames", type=int, default=240)
+    table.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

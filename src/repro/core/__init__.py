@@ -1,0 +1,37 @@
+"""AdaVP's core: the MPDT parallel pipeline and DNN model-setting adaptation.
+
+- :mod:`repro.core.mpdt` — the Mobile Parallel Detection and Tracking
+  pipeline (§IV-B): detector and tracker run concurrently; the tracker
+  propagates the last detection through the buffered frames while the
+  detector processes the newest frame.
+- :mod:`repro.core.adaptation` — the model-setting adaptation module
+  (§IV-D): Eq. 3 velocity thresholds, learned per current frame size from
+  1-second training chunks.
+- :mod:`repro.core.adavp` — AdaVP itself: MPDT + adaptation.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline, SettingPolicy
+from repro.core.adaptation import (
+    AdaptiveSettingPolicy,
+    ThresholdTable,
+    VelocityThresholds,
+    collect_training_data,
+    train_threshold_table,
+)
+from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+from repro.core.adavp import AdaVP
+
+__all__ = [
+    "PipelineConfig",
+    "SettingPolicy",
+    "FixedSettingPolicy",
+    "MPDTPipeline",
+    "AdaptiveSettingPolicy",
+    "VelocityThresholds",
+    "ThresholdTable",
+    "collect_training_data",
+    "train_threshold_table",
+    "DEFAULT_THRESHOLD_TABLE",
+    "AdaVP",
+]

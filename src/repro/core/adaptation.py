@@ -1,0 +1,239 @@
+"""DNN model-setting adaptation (paper §IV-D).
+
+The adaptation module maps the measured content-change velocity (Eq. 3) to
+the YOLOv3 input size for the next cycle through three learned thresholds
+``v1 <= v2 <= v3``::
+
+    v <= v1        -> 608x608
+    v1 < v <= v2   -> 512x512
+    v2 < v <= v3   -> 416x416
+    v  > v3        -> 320x320
+
+Velocity readings differ slightly by the frame size that produced the
+boxes being tracked (the boxes, and hence the features, are not identical),
+so the paper learns a separate threshold triple *per current frame size*;
+at runtime the triple matching the current setting is applied.
+
+Training follows the paper: run fixed-setting MPDT with each of the four
+sizes over the training videos, split each video into 1-second chunks,
+compute each chunk's mean accuracy and mean velocity per size, label the
+chunk with the size that scored best, then fit the three thresholds as
+1-D decision stumps between adjacent size classes (with an isotonic fix-up
+to keep them ordered).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
+from repro.detection.profiles import FRAME_SIZES, get_profile
+from repro.metrics.accuracy import frame_f1_series
+from repro.video.dataset import VideoClip
+
+
+@dataclass(frozen=True, slots=True)
+class VelocityThresholds:
+    """The triple ``(v1, v2, v3)`` for one current frame size."""
+
+    v1: float
+    v2: float
+    v3: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.v1 <= self.v2 <= self.v3):
+            raise ValueError(
+                f"thresholds must satisfy 0 <= v1 <= v2 <= v3, got "
+                f"({self.v1}, {self.v2}, {self.v3})"
+            )
+
+    def pick_size(self, velocity: float) -> int:
+        """The frame size to use next, given a cycle velocity."""
+        if velocity < 0:
+            raise ValueError("velocity must be non-negative")
+        if velocity <= self.v1:
+            return 608
+        if velocity <= self.v2:
+            return 512
+        if velocity <= self.v3:
+            return 416
+        return 320
+
+
+# One threshold triple per current setting name.
+ThresholdTable = dict[str, VelocityThresholds]
+
+
+class AdaptiveSettingPolicy:
+    """AdaVP's runtime policy: pick the next size from the cycle velocity.
+
+    A cycle without a velocity measurement (nothing tracked — e.g. an empty
+    scene) keeps the current setting, since there is no evidence for change.
+    """
+
+    def __init__(self, table: ThresholdTable, initial_setting: str | int = 512) -> None:
+        missing = [
+            get_profile(size).name
+            for size in FRAME_SIZES
+            if get_profile(size).name not in table
+        ]
+        if missing:
+            raise ValueError(f"threshold table missing settings: {missing}")
+        self.table = table
+        self._initial = get_profile(initial_setting).name
+
+    def initial(self) -> str:
+        return self._initial
+
+    def next_setting(self, velocity: float | None, current: str) -> str:
+        if velocity is None:
+            return current
+        thresholds = self.table[get_profile(current).name]
+        return get_profile(thresholds.pick_size(velocity)).name
+
+
+# --------------------------------------------------------------------------
+# Training (paper §IV-D3)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRecord:
+    """Per-(clip, chunk, setting) training statistics."""
+
+    clip_name: str
+    chunk_index: int
+    setting: str
+    mean_f1: float
+    mean_velocity: float | None
+
+
+def collect_training_data(
+    clips: Iterable[VideoClip],
+    config: PipelineConfig | None = None,
+    chunk_seconds: float = 1.0,
+    settings: Sequence[int] = FRAME_SIZES,
+) -> list[ChunkRecord]:
+    """Run fixed-setting MPDT per size per clip and chunk the results."""
+    config = config or PipelineConfig()
+    records: list[ChunkRecord] = []
+    for clip in clips:
+        annotations = clip.scene.annotations()
+        bounds = clip.chunk_bounds(chunk_seconds)
+        for size in settings:
+            setting = get_profile(size).name
+            pipeline = MPDTPipeline(FixedSettingPolicy(setting), config)
+            run = pipeline.run(clip, collect_velocity_samples=True)
+            f1 = frame_f1_series(run.detections_per_frame(), annotations)
+            samples_by_chunk: dict[int, list[float]] = defaultdict(list)
+            for frame_index, velocity in run.velocity_samples:
+                chunk = next(
+                    i for i, (lo, hi) in enumerate(bounds) if lo <= frame_index < hi
+                )
+                samples_by_chunk[chunk].append(velocity)
+            for chunk_index, (lo, hi) in enumerate(bounds):
+                velocities = samples_by_chunk.get(chunk_index)
+                records.append(
+                    ChunkRecord(
+                        clip_name=clip.name,
+                        chunk_index=chunk_index,
+                        setting=setting,
+                        mean_f1=float(f1[lo:hi].mean()),
+                        mean_velocity=(
+                            float(np.mean(velocities)) if velocities else None
+                        ),
+                    )
+                )
+    return records
+
+
+def _best_split(
+    velocities: np.ndarray,
+    wants_small: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """1-D decision stump: threshold above which the small size is preferred.
+
+    ``wants_small[i]`` is True when chunk ``i``'s best size lies on the
+    small/fast side of the boundary.  ``weights`` (default uniform) scales
+    each chunk's misclassification cost — the trainer weighs chunks by how
+    much the size choice actually matters there, which keeps near-tied
+    chunks (pure label noise) from dragging the boundary.  Scans the
+    midpoints between sorted velocities for the split minimising weighted
+    error.
+    """
+    n = velocities.size
+    if weights is None:
+        weights = np.ones(n, dtype=np.float64)
+    order = np.argsort(velocities)
+    v = velocities[order]
+    small = wants_small[order].astype(np.float64) * weights[order]
+    large = (~wants_small[order]).astype(np.float64) * weights[order]
+    # Classification rule: predict "small" when velocity > threshold.
+    # Weighted errors(threshold between position k-1 and k)
+    #   = (small weight among first k) + (large weight among the rest).
+    small_prefix = np.concatenate([[0.0], np.cumsum(small)])
+    large_prefix = np.concatenate([[0.0], np.cumsum(large)])
+    errors = small_prefix + (large_prefix[-1] - large_prefix)
+    best_k = int(np.argmin(errors))
+    if best_k == 0:
+        return float(v[0] - 1e-6) if n else 0.0
+    if best_k == n:
+        return float(v[-1] + 1e-6)
+    return float((v[best_k - 1] + v[best_k]) / 2.0)
+
+
+def train_threshold_table(records: Sequence[ChunkRecord]) -> ThresholdTable:
+    """Learn one ``(v1, v2, v3)`` triple per setting from chunk records.
+
+    For each chunk, the best size is the one with the highest mean F1 (ties
+    go to the larger size) — exactly the paper's labelling.  For each
+    *measuring* setting s, the training pairs are (velocity measured under
+    s, best size); thresholds are fitted between adjacent size classes and
+    made monotone.
+    """
+    by_chunk: dict[tuple[str, int], dict[str, ChunkRecord]] = defaultdict(dict)
+    for record in records:
+        by_chunk[(record.clip_name, record.chunk_index)][record.setting] = record
+
+    sizes_desc = list(FRAME_SIZES)  # (608, 512, 416, 320)
+    names_desc = [get_profile(s).name for s in sizes_desc]
+
+    # Best size per chunk (requires all settings measured for the chunk).
+    best_size: dict[tuple[str, int], int] = {}
+    for key, per_setting in by_chunk.items():
+        if len(per_setting) < len(names_desc):
+            continue
+        scores = [(per_setting[name].mean_f1, size)
+                  for name, size in zip(names_desc, sizes_desc)]
+        # max by F1; ties resolved toward the larger size because sizes_desc
+        # is ordered large->small and max() keeps the first maximum.
+        best = max(scores, key=lambda pair: pair[0])
+        best_size[key] = best[1]
+
+    table: ThresholdTable = {}
+    for name in names_desc:
+        velocities = []
+        labels = []
+        for key, size in best_size.items():
+            record = by_chunk[key].get(name)
+            if record is None or record.mean_velocity is None:
+                continue
+            velocities.append(record.mean_velocity)
+            labels.append(size)
+        if not velocities:
+            raise ValueError(f"no usable training chunks for setting {name}")
+        v = np.asarray(velocities, dtype=np.float64)
+        sizes = np.asarray(labels, dtype=np.int64)
+        raw = []
+        for boundary in range(1, len(sizes_desc)):
+            small_side = set(sizes_desc[boundary:])
+            raw.append(_best_split(v, np.isin(sizes, list(small_side))))
+        ordered = np.maximum.accumulate(np.maximum(raw, 0.0))
+        table[name] = VelocityThresholds(*[float(x) for x in ordered])
+    return table

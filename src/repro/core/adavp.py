@@ -1,0 +1,75 @@
+"""AdaVP: the full system — MPDT plus runtime model-setting adaptation.
+
+This is the paper's headline contribution.  :class:`AdaVP` wraps
+:class:`~repro.core.mpdt.MPDTPipeline` with the
+:class:`~repro.core.adaptation.AdaptiveSettingPolicy`; after every
+detection cycle the policy reads the cycle's Eq. 3 velocity and picks the
+YOLOv3 input size for the next cycle (switch cost is negligible — the
+paper measures ~0.02 ms, far below the ~ms resolution that would matter
+against 230–500 ms detections, so the simulator does not charge it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.adaptation import (
+    AdaptiveSettingPolicy,
+    ThresholdTable,
+    collect_training_data,
+    train_threshold_table,
+)
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import MPDTPipeline
+from repro.runtime.simulator import PipelineRun
+from repro.video.dataset import VideoClip
+
+
+class AdaVP:
+    """Continuous, real-time, on-device video processing with adaptation.
+
+    Typical use::
+
+        from repro.core import AdaVP
+        system = AdaVP()                    # pretrained thresholds
+        run = system.process(clip)          # -> PipelineRun
+
+    or train on your own corpus::
+
+        system = AdaVP.train(training_clips)
+    """
+
+    def __init__(
+        self,
+        thresholds: ThresholdTable | None = None,
+        config: PipelineConfig | None = None,
+        initial_setting: str | int = 512,
+    ) -> None:
+        if thresholds is None:
+            # Imported lazily: pretrained.py imports from adaptation, and
+            # users supplying their own table never need it.
+            from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+
+            thresholds = DEFAULT_THRESHOLD_TABLE
+        self.thresholds = thresholds
+        self.config = config or PipelineConfig()
+        self.policy = AdaptiveSettingPolicy(thresholds, initial_setting)
+        self._pipeline = MPDTPipeline(self.policy, self.config, method_name="adavp")
+
+    @classmethod
+    def train(
+        cls,
+        training_clips: Iterable[VideoClip],
+        config: PipelineConfig | None = None,
+        chunk_seconds: float = 1.0,
+        initial_setting: str | int = 512,
+    ) -> "AdaVP":
+        """Learn the threshold table from a training corpus (paper §IV-D3)."""
+        config = config or PipelineConfig()
+        records = collect_training_data(training_clips, config, chunk_seconds)
+        table = train_threshold_table(records)
+        return cls(thresholds=table, config=config, initial_setting=initial_setting)
+
+    def process(self, clip: VideoClip, collect_velocity_samples: bool = False) -> PipelineRun:
+        """Run AdaVP over one clip on the deterministic virtual timeline."""
+        return self._pipeline.run(clip, collect_velocity_samples)

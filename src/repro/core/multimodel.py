@@ -1,0 +1,60 @@
+"""Extension: adaptation across DNN *models*, not just input sizes.
+
+The paper §IV-D3 notes that the adaptation scheme "also works for
+selecting the right model, not just model setting" — e.g. switching
+between full YOLOv3 and YOLOv3-tiny — but does not pursue it because
+pre-loading several models exceeds mobile memory, and re-loading costs
+time.  This module implements that extension so the trade-off can be
+measured: a :class:`MultiModelPolicy` adds a tiny-model band above the
+320 band, and the pipeline charges a model *reload* latency whenever the
+policy crosses the full/tiny family boundary (input-size changes within
+a family remain free, as in the paper).
+
+The accompanying bench (``benchmarks/test_extension_multimodel.py``)
+reproduces the paper's implicit finding: tiny's accuracy is so low
+(F1 ~ 0.3) that even extreme content speed rarely justifies it.
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptation import AdaptiveSettingPolicy, ThresholdTable
+from repro.detection.profiles import get_profile
+
+
+def model_family(profile_name: str) -> str:
+    """"tiny" or "full" — switching between families requires a reload."""
+    return "tiny" if "tiny" in profile_name else "full"
+
+
+class MultiModelPolicy:
+    """Velocity-threshold policy over full-YOLOv3 sizes *and* tiny.
+
+    Below ``tiny_velocity`` it behaves exactly like
+    :class:`AdaptiveSettingPolicy`; above it, it selects YOLOv3-tiny-320,
+    whose ~57 ms cycle calibrates the tracker every couple of frames.
+    """
+
+    def __init__(
+        self,
+        table: ThresholdTable,
+        tiny_velocity: float = 6.0,
+        initial_setting: str | int = 512,
+    ) -> None:
+        if tiny_velocity <= 0:
+            raise ValueError("tiny_velocity must be positive")
+        self._inner = AdaptiveSettingPolicy(table, initial_setting)
+        self.tiny_velocity = tiny_velocity
+
+    def initial(self) -> str:
+        return self._inner.initial()
+
+    def next_setting(self, velocity: float | None, current: str) -> str:
+        if velocity is None:
+            return current
+        if velocity > self.tiny_velocity:
+            return "yolov3-tiny-320"
+        if model_family(current) == "tiny":
+            # Thresholds are keyed by full-model settings; when coming back
+            # from tiny, decide as if running the smallest full setting.
+            current = get_profile(320).name
+        return self._inner.next_setting(velocity, current)

@@ -1,0 +1,29 @@
+"""Pretrained adaptation thresholds.
+
+These constants were produced by running the full trainer
+(:func:`repro.core.adaptation.train_threshold_table`) over the training
+suite (:func:`repro.experiments.workloads.training_suite`) — the same
+procedure the paper applies to its 105 205 training frames.  They ship as
+constants so examples and benchmarks do not pay the training cost; the
+``benchmarks/test_train_adaptation.py`` bench regenerates them and the
+docstring of each run records the suite/seed used.
+
+Regenerate with::
+
+    python -m repro.experiments.train_adaptation
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptation import ThresholdTable, VelocityThresholds
+
+# Trained on the enlarged corpus (scripts/train_thresholds.py: training
+# suites seeded 101 and 401 plus two extra phased clips; 34 clips, 8 160
+# frames) with PipelineConfig() defaults.  Values are Eq. 3 velocities in pixels/frame at the 320x180
+# render scale.
+DEFAULT_THRESHOLD_TABLE: ThresholdTable = {
+    "yolov3-608": VelocityThresholds(v1=0.652, v2=4.029, v3=4.233),
+    "yolov3-512": VelocityThresholds(v1=0.638, v2=3.651, v3=4.344),
+    "yolov3-416": VelocityThresholds(v1=0.634, v2=3.728, v3=4.303),
+    "yolov3-320": VelocityThresholds(v1=0.497, v2=3.497, v3=3.957),
+}

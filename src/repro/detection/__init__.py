@@ -1,0 +1,36 @@
+"""Simulated DNN object detection.
+
+The paper runs YOLOv3 (PyTorch, Jetson TX2 GPU) at four input sizes —
+320/416/512/608 — plus YOLOv3-tiny.  No GPU or PyTorch exists in this
+environment, so the detector is simulated: it perturbs the synthetic
+scene's ground truth with *input-size-dependent* noise (misses, label
+confusion, localisation error, false positives) and charges an
+input-size-dependent latency.  Both are calibrated against the paper's
+measurements (Fig. 1: per-frame F1 0.62→0.88 and latency 230→500 ms from
+size 320 to 608; tiny ≈ 60 ms at mean F1 ≈ 0.3).
+
+Everything above this package — the MPDT pipeline, the adaptation module,
+the baselines — only ever interacts with the (accuracy, latency) trade-off
+surface, which is exactly what the calibration preserves.
+"""
+
+from repro.detection.classes import CONFUSABLE_LABELS, confusable_with
+from repro.detection.profiles import (
+    DETECTOR_PROFILES,
+    FRAME_SIZES,
+    DetectorProfile,
+    get_profile,
+)
+from repro.detection.detector import Detection, DetectionResult, SimulatedYOLOv3
+
+__all__ = [
+    "CONFUSABLE_LABELS",
+    "confusable_with",
+    "DETECTOR_PROFILES",
+    "FRAME_SIZES",
+    "DetectorProfile",
+    "get_profile",
+    "Detection",
+    "DetectionResult",
+    "SimulatedYOLOv3",
+]

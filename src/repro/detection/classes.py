@@ -1,0 +1,33 @@
+"""Label vocabulary details for the simulated detector.
+
+Real YOLOv3's characteristic errors on the paper's videos include label
+confusion between visually similar classes — the paper's Fig. 5 example
+explicitly shows YOLOv3-320 "identifying 2 cars as trucks and 1 truck as
+car".  The confusion table below encodes those plausible swaps.
+"""
+
+from __future__ import annotations
+
+from repro.video.objects import OBJECT_LABELS
+
+# For each label, the labels a weak detector plausibly confuses it with.
+CONFUSABLE_LABELS: dict[str, tuple[str, ...]] = {
+    "person": ("bicycle",),
+    "car": ("truck", "bus"),
+    "truck": ("car", "bus"),
+    "bus": ("truck", "car"),
+    "bicycle": ("motorbike", "person"),
+    "motorbike": ("bicycle",),
+    "dog": ("horse",),
+    "horse": ("dog",),
+    "airplane": ("boat",),
+    "boat": ("airplane",),
+    "train": ("bus",),
+}
+
+
+def confusable_with(label: str) -> tuple[str, ...]:
+    """Labels ``label`` may be mistaken for (possibly empty)."""
+    if label not in OBJECT_LABELS:
+        raise ValueError(f"unknown label {label!r}")
+    return CONFUSABLE_LABELS.get(label, ())

@@ -1,0 +1,32 @@
+"""Benchmark harness: workloads, method registry, and per-figure runners.
+
+Every table and figure of the paper's evaluation (§VI) has a runner module
+here and a corresponding bench in ``benchmarks/``; see DESIGN.md's
+experiment index for the mapping.
+"""
+
+from repro.experiments.workloads import (
+    evaluation_suite,
+    quick_suite,
+    training_suite,
+)
+from repro.experiments.runners import (
+    METHODS,
+    MethodResult,
+    evaluate_run,
+    make_method,
+    run_method_on_clip,
+    run_method_on_suite,
+)
+
+__all__ = [
+    "evaluation_suite",
+    "quick_suite",
+    "training_suite",
+    "METHODS",
+    "MethodResult",
+    "evaluate_run",
+    "make_method",
+    "run_method_on_clip",
+    "run_method_on_suite",
+]

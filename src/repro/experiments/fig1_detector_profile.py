@@ -1,0 +1,71 @@
+"""Fig. 1: detection latency (bars) and accuracy (stars) per frame size.
+
+The paper runs YOLOv3 over 4 000 frames at each input size and reports the
+mean per-frame processing latency and F1.  This runner does the same over
+a mixed-scenario frame sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection import SimulatedYOLOv3
+from repro.detection.profiles import FRAME_SIZES, get_profile
+from repro.experiments.report import format_table
+from repro.metrics.matching import f1_score
+from repro.video.dataset import make_clip
+from repro.video.library import list_scenarios
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    setting: str
+    mean_latency_ms: float
+    mean_f1: float
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    rows: tuple[Fig1Row, ...]
+    num_frames: int
+
+    def report(self) -> str:
+        return format_table(
+            "Fig. 1 — detection latency and accuracy per frame size",
+            ("setting", "latency_ms", "mean_F1"),
+            [(r.setting, round(r.mean_latency_ms, 1), r.mean_f1) for r in self.rows],
+        )
+
+
+def run(num_frames: int = 4000, seed: int = 17) -> Fig1Result:
+    """Detect ``num_frames`` mixed-scenario frames at each input size."""
+    per_clip = max(30, num_frames // len(list_scenarios()))
+    annotations = []
+    for i, name in enumerate(list_scenarios()):
+        clip = make_clip(name, seed=seed + i, num_frames=per_clip)
+        annotations.extend(clip.annotation(j) for j in range(per_clip))
+    annotations = annotations[:num_frames]
+
+    rows = []
+    for size in sorted(FRAME_SIZES):
+        profile = get_profile(size)
+        detector = SimulatedYOLOv3(profile.name, seed=seed)
+        latencies, scores = [], []
+        for annotation in annotations:
+            result = detector.detect(annotation)
+            latencies.append(result.latency)
+            scores.append(f1_score(result.detections, annotation))
+        rows.append(
+            Fig1Row(
+                setting=profile.name,
+                mean_latency_ms=float(np.mean(latencies)) * 1e3,
+                mean_f1=float(np.mean(scores)),
+            )
+        )
+    return Fig1Result(rows=tuple(rows), num_frames=len(annotations))
+
+
+if __name__ == "__main__":
+    print(run().report())

@@ -1,0 +1,135 @@
+"""Fig. 6: overall accuracy of AdaVP vs every baseline.
+
+Thirteen bars: AdaVP, MPDT x 4 settings, MARLIN x 4, without-tracking x 4
+— suite accuracy (% frames with F1 > 0.7, averaged per video) on the
+evaluation corpus.
+
+Shape targets from the paper: AdaVP on top; 512 the best fixed setting;
+MPDT > MARLIN and > no-tracking at every setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.experiments.report import format_table, relative_gain
+from repro.experiments.runners import MethodResult, run_method_on_suite
+from repro.experiments.workloads import evaluation_suite
+from repro.video.dataset import VideoSuite
+
+FIG6_METHODS: tuple[str, ...] = (
+    "adavp",
+    "mpdt-320",
+    "mpdt-416",
+    "mpdt-512",
+    "mpdt-608",
+    "marlin-320",
+    "marlin-416",
+    "marlin-512",
+    "marlin-608",
+    "no-tracking-320",
+    "no-tracking-416",
+    "no-tracking-512",
+    "no-tracking-608",
+)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    results: dict[str, MethodResult]
+    alpha: float
+    iou_threshold: float
+
+    def accuracy(self, method: str) -> float:
+        return self.results[method].accuracy
+
+    def best_fixed_mpdt(self) -> str:
+        return max(
+            (m for m in self.results if m.startswith("mpdt")), key=self.accuracy
+        )
+
+    def _gain_range(
+        self, numerator: str, denominator: str
+    ) -> tuple[float, float] | None:
+        """(min, max) gain of ``numerator`` over ``denominator`` settings.
+
+        Method name templates contain ``{s}`` for the setting; only the
+        settings present in this result contribute (benches may run a
+        subset of the 13 methods).
+        """
+        gains = []
+        for size in (320, 416, 512, 608):
+            top = numerator.format(s=size)
+            bottom = denominator.format(s=size)
+            if top in self.results and bottom in self.results:
+                gains.append(
+                    relative_gain(self.accuracy(top), self.accuracy(bottom))
+                )
+        if not gains:
+            return None
+        return min(gains), max(gains)
+
+    def adavp_gain_over_mpdt(self) -> tuple[float, float] | None:
+        """(min, max) relative gain of AdaVP over the available MPDT settings."""
+        return self._gain_range("adavp", "mpdt-{s}")
+
+    def adavp_gain_over_marlin(self) -> tuple[float, float] | None:
+        return self._gain_range("adavp", "marlin-{s}")
+
+    def mpdt_gain_over_marlin(self) -> tuple[float, float] | None:
+        return self._gain_range("mpdt-{s}", "marlin-{s}")
+
+    def mpdt_gain_over_no_tracking(self) -> tuple[float, float] | None:
+        return self._gain_range("mpdt-{s}", "no-tracking-{s}")
+
+    def report(self) -> str:
+        rows = [
+            (method, self.results[method].accuracy, self.results[method].mean_f1)
+            for method in FIG6_METHODS
+            if method in self.results
+        ]
+        table = format_table(
+            f"Fig. 6 — overall accuracy (alpha={self.alpha}, IoU={self.iou_threshold})",
+            ("method", "accuracy", "mean_F1"),
+            rows,
+        )
+        lines = [table]
+        comparisons = (
+            ("AdaVP vs MPDT", self.adavp_gain_over_mpdt(), "+13.4% .. +34.1%"),
+            ("AdaVP vs MARLIN", self.adavp_gain_over_marlin(), "+20.4% .. +43.9%"),
+            ("MPDT vs MARLIN", self.mpdt_gain_over_marlin(), "+7.1% .. +21.95%"),
+            ("MPDT vs no-tracking", self.mpdt_gain_over_no_tracking(), "+2.3% .. +37.3%"),
+        )
+        for label, gains, paper in comparisons:
+            if gains is not None:
+                lines.append(
+                    f"{label + ':':22s}+{gains[0]:.1%} .. +{gains[1]:.1%} (paper: {paper})"
+                )
+        mpdt_present = [m for m in self.results if m.startswith("mpdt")]
+        if mpdt_present:
+            lines.append(
+                f"best fixed MPDT setting: {self.best_fixed_mpdt()} (paper: yolov3-512)"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    suite: VideoSuite | None = None,
+    methods: tuple[str, ...] = FIG6_METHODS,
+    alpha: float = 0.7,
+    iou_threshold: float = 0.5,
+    config: PipelineConfig | None = None,
+) -> Fig6Result:
+    suite = suite or evaluation_suite()
+    results = {
+        name: run_method_on_suite(
+            name, suite, config, alpha=alpha, iou_threshold=iou_threshold
+        )
+        for name in methods
+    }
+    return Fig6Result(results=results, alpha=alpha, iou_threshold=iou_threshold)
+
+
+if __name__ == "__main__":
+    print(run().report())

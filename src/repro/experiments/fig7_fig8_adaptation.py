@@ -1,0 +1,81 @@
+"""Fig. 7 and Fig. 8: AdaVP's switching cadence and setting usage.
+
+Fig. 7 is the CDF of the number of cycles between consecutive model-setting
+switches (paper: ~50 % of switches happen after one cycle; 90 % within 20).
+Fig. 8 is the fraction of cycles run under each setting (paper: 512 and 608
+dominate; the other two sit around 10 % each).
+
+Both come from the same set of AdaVP runs over the evaluation suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runners import run_method_on_suite
+from repro.experiments.workloads import evaluation_suite
+from repro.video.dataset import VideoSuite
+
+
+@dataclass(frozen=True)
+class AdaptationBehaviour:
+    switch_gaps: tuple[int, ...]
+    usage: dict[str, int]
+
+    # -- Fig. 7 ----------------------------------------------------------------
+
+    def cdf(self, points: tuple[int, ...] = (1, 2, 5, 10, 20, 40)) -> list[tuple[int, float]]:
+        if not self.switch_gaps:
+            return [(p, 0.0) for p in points]
+        gaps = np.asarray(self.switch_gaps)
+        return [(p, float(np.mean(gaps <= p))) for p in points]
+
+    @property
+    def median_gap(self) -> float:
+        return float(np.median(self.switch_gaps)) if self.switch_gaps else float("nan")
+
+    # -- Fig. 8 ----------------------------------------------------------------
+
+    def usage_fractions(self) -> dict[str, float]:
+        total = sum(self.usage.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in sorted(self.usage.items())}
+
+    def report(self) -> str:
+        cdf = self.cdf()
+        fig7 = format_series(
+            "Fig. 7 — CDF of cycles per model-setting switch",
+            [p for p, _ in cdf],
+            [v for _, v in cdf],
+            "cycles<=", "P",
+        )
+        fractions = self.usage_fractions()
+        fig8 = format_table(
+            "Fig. 8 — usage share per model setting",
+            ("setting", "share"),
+            [(name, share) for name, share in fractions.items()],
+        )
+        return f"{fig7}\n\n{fig8}\nmedian switch gap: {self.median_gap:.1f} cycles"
+
+
+def run(
+    suite: VideoSuite | None = None, config: PipelineConfig | None = None
+) -> AdaptationBehaviour:
+    suite = suite or evaluation_suite()
+    result = run_method_on_suite("adavp", suite, config, keep_runs=True)
+    gaps: list[int] = []
+    usage: dict[str, int] = {}
+    for run_ in result.runs:
+        gaps.extend(run_.cycles_between_switches())
+        for name, count in run_.profile_usage().items():
+            usage[name] = usage.get(name, 0) + count
+    return AdaptationBehaviour(switch_gaps=tuple(gaps), usage=usage)
+
+
+if __name__ == "__main__":
+    print(run().report())

@@ -1,0 +1,62 @@
+"""Offline tuning of MARLIN's scene-change trigger (paper §VI-A).
+
+"For video content change detector, we conduct a set of experiments to
+find a motion velocity threshold that provides the best detection accuracy
+for MARLIN."  This module performs that sweep so the Fig. 6 / Table III
+comparisons give MARLIN its best configuration, as the paper did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.marlin import MarlinConfig
+from repro.core.config import PipelineConfig
+from repro.experiments.report import format_table
+from repro.experiments.runners import run_method_on_suite
+from repro.experiments.workloads import training_suite
+from repro.video.dataset import VideoSuite
+
+DEFAULT_CANDIDATES: tuple[float, ...] = (0.3, 0.45, 0.6, 1.0, 1.5, 2.2)
+
+
+@dataclass(frozen=True)
+class MarlinTuningResult:
+    setting: int
+    accuracies: dict[float, float]
+
+    @property
+    def best_threshold(self) -> float:
+        return max(self.accuracies, key=self.accuracies.get)
+
+    def report(self) -> str:
+        table = format_table(
+            f"MARLIN trigger-velocity sweep (setting {self.setting})",
+            ("trigger_velocity", "accuracy"),
+            sorted(self.accuracies.items()),
+        )
+        return f"{table}\nbest: {self.best_threshold}"
+
+
+def run(
+    setting: int = 512,
+    candidates: tuple[float, ...] = DEFAULT_CANDIDATES,
+    suite: VideoSuite | None = None,
+    config: PipelineConfig | None = None,
+) -> MarlinTuningResult:
+    """Sweep the trigger threshold on (a subset of) the training corpus."""
+    suite = suite or VideoSuite(
+        name="marlin-tuning", clips=training_suite().clips[:8]
+    )
+    accuracies = {}
+    for threshold in candidates:
+        marlin = MarlinConfig(setting=setting, trigger_velocity=threshold)
+        result = run_method_on_suite(
+            f"marlin-{setting}", suite, config, marlin=marlin
+        )
+        accuracies[threshold] = result.accuracy
+    return MarlinTuningResult(setting=setting, accuracies=accuracies)
+
+
+if __name__ == "__main__":
+    print(run().report())

@@ -1,0 +1,53 @@
+"""Plain-text report formatting for experiment results.
+
+Every figure/table runner produces rows; these helpers render them in a
+fixed-width layout that mirrors the paper's tables and figure series so a
+terminal diff against EXPERIMENTS.md is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: Sequence[object], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series, one point per line — a text 'figure'."""
+    lines = [title, f"{x_label:>10}  {y_label}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x!s:>10}  {y:.3f}")
+    return "\n".join(lines)
+
+
+def relative_gain(new: float, baseline: float) -> float:
+    """Relative improvement of ``new`` over ``baseline`` (paper's % figures)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (new - baseline) / baseline

@@ -1,0 +1,136 @@
+"""Method registry and suite-level evaluation helpers.
+
+A *method* is anything with ``run(clip) -> PipelineRun``; the registry maps
+the paper's method names ("adavp", "mpdt-512", "marlin-512",
+"no-tracking-608", "continuous-tiny-320", ...) to factories so every bench
+builds methods the same way, with the same shared :class:`PipelineConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.continuous import ContinuousDetectionPipeline
+from repro.baselines.marlin import MarlinConfig, MarlinPipeline
+from repro.baselines.no_tracking import NoTrackingPipeline
+from repro.core.adavp import AdaVP
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
+from repro.metrics.accuracy import frame_f1_series, video_accuracy
+from repro.metrics.energy import ActivityLog, EnergyBreakdown, TX2_POWER_MODEL
+from repro.runtime.simulator import PipelineRun
+from repro.video.dataset import VideoClip, VideoSuite
+
+# The method names every figure/table bench understands.
+METHODS: tuple[str, ...] = (
+    "adavp",
+    "mpdt-320",
+    "mpdt-416",
+    "mpdt-512",
+    "mpdt-608",
+    "marlin-320",
+    "marlin-416",
+    "marlin-512",
+    "marlin-608",
+    "no-tracking-320",
+    "no-tracking-416",
+    "no-tracking-512",
+    "no-tracking-608",
+    "continuous-320",
+    "continuous-608",
+    "continuous-tiny-320",
+)
+
+
+def make_method(name: str, config: PipelineConfig | None = None, **kwargs):
+    """Instantiate a method by its registry name.
+
+    ``kwargs`` are forwarded to the method constructor (e.g. a custom
+    threshold table for ``adavp`` or a trigger velocity for MARLIN).
+    """
+    config = config or PipelineConfig()
+    if name == "adavp":
+        return AdaVP(config=config, **kwargs)
+    kind, _, size = name.partition("-")
+    if kind == "mpdt":
+        return MPDTPipeline(
+            FixedSettingPolicy(int(size)), config, method_name=name, **kwargs
+        )
+    if kind == "marlin":
+        marlin_cfg = kwargs.pop("marlin", None) or MarlinConfig(setting=int(size))
+        return MarlinPipeline(marlin_cfg, config, method_name=name, **kwargs)
+    if kind == "no":  # "no-tracking-N"
+        size = name.rsplit("-", 1)[1]
+        return NoTrackingPipeline(int(size), config, method_name=name, **kwargs)
+    if kind == "continuous":
+        setting = "yolov3-tiny-320" if "tiny" in name else f"yolov3-{size.rsplit('-', 1)[-1]}"
+        return ContinuousDetectionPipeline(setting, config, method_name=name, **kwargs)
+    raise KeyError(f"unknown method {name!r}; known: {', '.join(METHODS)}")
+
+
+def run_method_on_clip(method, clip: VideoClip) -> PipelineRun:
+    """Run a method over one clip (AdaVP exposes ``process``, others ``run``)."""
+    runner = getattr(method, "process", None) or method.run
+    return runner(clip)
+
+
+@dataclass
+class MethodResult:
+    """Aggregated suite-level outcome of one method."""
+
+    method: str
+    per_video_accuracy: list[float] = field(default_factory=list)
+    per_video_mean_f1: list[float] = field(default_factory=list)
+    runs: list[PipelineRun] = field(default_factory=list)
+    activity: ActivityLog = field(default_factory=ActivityLog)
+
+    @property
+    def accuracy(self) -> float:
+        """Suite accuracy: mean per-video %frames-above-alpha (paper §VI-A)."""
+        return float(np.mean(self.per_video_accuracy))
+
+    @property
+    def mean_f1(self) -> float:
+        return float(np.mean(self.per_video_mean_f1))
+
+    def energy(self) -> EnergyBreakdown:
+        """Table III-style energy, integrated over the whole suite."""
+        return TX2_POWER_MODEL.breakdown(self.activity)
+
+
+def evaluate_run(
+    run: PipelineRun,
+    clip: VideoClip,
+    alpha: float = 0.7,
+    iou_threshold: float = 0.5,
+) -> tuple[float, np.ndarray]:
+    """(video accuracy, per-frame F1 series) for one run."""
+    f1 = frame_f1_series(
+        run.detections_per_frame(), clip.scene.annotations(), iou_threshold
+    )
+    return video_accuracy(f1, alpha), f1
+
+
+def run_method_on_suite(
+    name: str,
+    suite: VideoSuite,
+    config: PipelineConfig | None = None,
+    alpha: float = 0.7,
+    iou_threshold: float = 0.5,
+    keep_runs: bool = False,
+    **kwargs,
+) -> MethodResult:
+    """Run a registry method over a suite and aggregate paper-style metrics."""
+    result = MethodResult(method=name)
+    for clip in suite:
+        method = make_method(name, config, **kwargs)
+        run = run_method_on_clip(method, clip)
+        accuracy, f1 = evaluate_run(run, clip, alpha, iou_threshold)
+        result.per_video_accuracy.append(accuracy)
+        result.per_video_mean_f1.append(float(f1.mean()))
+        result.activity.merge(run.activity)
+        if keep_runs:
+            result.runs.append(run)
+    return result

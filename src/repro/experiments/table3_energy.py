@@ -1,0 +1,97 @@
+"""Table III: energy consumption and accuracy of eight methods.
+
+Columns match the paper: AdaVP, MPDT/MARLIN at 320 and 512, continuous
+YOLOv3-tiny-320, continuous YOLOv3-320, and continuous YOLOv3-608.  For the
+continuous methods the run is not real-time; the latency multiplier (the
+paper's "7x latency") is reported alongside.
+
+Shape targets: AdaVP spends slightly more than MARLIN-512 but is much more
+accurate; per-frame YOLO burns an order of magnitude more energy; tiny is
+cheap per frame but inaccurate and still above real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.experiments.report import format_table
+from repro.experiments.runners import MethodResult, run_method_on_suite
+from repro.experiments.workloads import evaluation_suite
+from repro.metrics.energy import EnergyBreakdown
+from repro.video.dataset import VideoSuite
+
+TABLE3_METHODS: tuple[str, ...] = (
+    "adavp",
+    "mpdt-320",
+    "marlin-320",
+    "continuous-tiny-320",
+    "continuous-320",
+    "mpdt-512",
+    "marlin-512",
+    "continuous-608",
+)
+
+
+@dataclass(frozen=True)
+class Table3Column:
+    method: str
+    energy: EnergyBreakdown
+    accuracy: float
+    latency_multiplier: float
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    columns: dict[str, Table3Column]
+    video_hours: float
+
+    def report(self) -> str:
+        rows = []
+        for rail in ("GPU", "CPU", "SoC", "DDR", "Total"):
+            rows.append(
+                [rail]
+                + [
+                    self.columns[m].energy.as_dict()[rail]
+                    for m in TABLE3_METHODS
+                ]
+            )
+        rows.append(
+            ["Accuracy"] + [self.columns[m].accuracy for m in TABLE3_METHODS]
+        )
+        rows.append(
+            ["Latency x"]
+            + [self.columns[m].latency_multiplier for m in TABLE3_METHODS]
+        )
+        return format_table(
+            f"Table III — energy (Wh over {self.video_hours:.2f} h of video) and accuracy",
+            ["rail"] + list(TABLE3_METHODS),
+            rows,
+        )
+
+
+def _column(name: str, result: MethodResult, video_seconds: float) -> Table3Column:
+    return Table3Column(
+        method=name,
+        energy=result.energy(),
+        accuracy=result.accuracy,
+        latency_multiplier=result.activity.duration / video_seconds,
+    )
+
+
+def run(
+    suite: VideoSuite | None = None,
+    config: PipelineConfig | None = None,
+    methods: tuple[str, ...] = TABLE3_METHODS,
+) -> Table3Result:
+    suite = suite or evaluation_suite()
+    video_seconds = sum(clip.num_frames / clip.fps for clip in suite)
+    columns = {}
+    for name in methods:
+        result = run_method_on_suite(name, suite, config)
+        columns[name] = _column(name, result, video_seconds)
+    return Table3Result(columns=columns, video_hours=video_seconds / 3600.0)
+
+
+if __name__ == "__main__":
+    print(run().report())

@@ -1,0 +1,64 @@
+"""Regenerate the pretrained adaptation thresholds.
+
+Usage::
+
+    python -m repro.experiments.train_adaptation [--quick]
+
+Runs fixed-setting MPDT at all four sizes over the training corpus, fits
+the per-setting velocity thresholds (paper §IV-D3), and prints the table
+in the exact format of ``repro/core/pretrained.py``.  ``--quick`` uses the
+small corpus (a few minutes); the default uses the enlarged corpus the
+shipped constants were trained on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.adaptation import collect_training_data, train_threshold_table
+from repro.experiments.workloads import make_phase_clip, training_suite
+from repro.video.dataset import VideoSuite
+
+
+def enlarged_training_suite() -> VideoSuite:
+    """Two seeds per scenario family plus extra phased clips (34 clips)."""
+    base = training_suite(seed=101, frames=240)
+    extra = training_suite(seed=401, frames=240)
+    clips = base.clips + extra.clips
+    clips.append(
+        make_phase_clip(
+            "highway_surveillance", 777, 240,
+            calm_until=0.4, speed_scale=0.45, rate_scale=0.7,
+        )
+    )
+    clips.append(make_phase_clip("wildlife", 778, 240, speed_scale=2.0))
+    return VideoSuite(name="training-enlarged", clips=clips)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="train on the small corpus (16 clips instead of 34)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    suite = training_suite() if args.quick else enlarged_training_suite()
+    print(f"training on {len(suite)} clips, {suite.total_frames} frames ...")
+    records = collect_training_data(suite.clips)
+    table = train_threshold_table(records)
+    print(f"done in {time.time() - started:.0f}s; paste into core/pretrained.py:")
+    print("DEFAULT_THRESHOLD_TABLE: ThresholdTable = {")
+    for name in ("yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320"):
+        th = table[name]
+        print(
+            f'    "{name}": VelocityThresholds('
+            f"v1={th.v1:.3f}, v2={th.v2:.3f}, v3={th.v3:.3f}),"
+        )
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Geometric primitives shared across the AdaVP reproduction.
+
+The paper represents an object position as a 4-tuple bounding box
+``(left, top, width, height)`` and uses intersection-over-union (IoU,
+Eq. 2) to decide whether a detection matches a ground-truth object.
+This package provides those primitives plus vectorised batch variants
+used by the matching and rendering code.
+"""
+
+from repro.geometry.box import (
+    Box,
+    boxes_to_array,
+    clip_box,
+    iou,
+    iou_matrix,
+    union_box,
+)
+
+__all__ = [
+    "Box",
+    "boxes_to_array",
+    "clip_box",
+    "iou",
+    "iou_matrix",
+    "union_box",
+]

@@ -1,0 +1,35 @@
+"""Evaluation metrics: F1 matching, video accuracy, energy, latency.
+
+The paper's metric stack (§III-A, §VI-A):
+
+- per-frame **F1 score** from precision/recall, where a detection is a true
+  positive iff its label matches a ground-truth object and their IoU exceeds
+  a threshold (0.5 by default, 0.6 in Fig. 11);
+- per-video **accuracy** = fraction of frames whose F1 exceeds a threshold
+  alpha (0.7 by default, 0.75 in Fig. 10);
+- **energy** from a TX2-style component power model integrated over the
+  pipeline timeline (Table III).
+"""
+
+from repro.metrics.matching import MatchResult, f1_score, match_detections
+from repro.metrics.accuracy import (
+    frame_f1_series,
+    video_accuracy,
+    suite_accuracy,
+)
+from repro.metrics.energy import EnergyBreakdown, PowerModel, TX2_POWER_MODEL
+from repro.metrics.latency import LatencyStats, summarize_latencies
+
+__all__ = [
+    "MatchResult",
+    "f1_score",
+    "match_detections",
+    "frame_f1_series",
+    "video_accuracy",
+    "suite_accuracy",
+    "EnergyBreakdown",
+    "PowerModel",
+    "TX2_POWER_MODEL",
+    "LatencyStats",
+    "summarize_latencies",
+]

@@ -1,0 +1,63 @@
+"""Video- and suite-level accuracy metrics.
+
+The paper measures a video's accuracy as "the percentage of frames with F1
+score above a threshold" (alpha = 0.7 default, 0.75 in Fig. 10), and a
+dataset's accuracy as the average of the per-video percentages (§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.detection.detector import Detection
+from repro.metrics.matching import f1_score
+from repro.video.scene import FrameAnnotation
+
+
+def frame_f1_series(
+    results: Mapping[int, Sequence[Detection]] | Sequence[Sequence[Detection]],
+    annotations: Sequence[FrameAnnotation],
+    iou_threshold: float = 0.5,
+) -> np.ndarray:
+    """Per-frame F1 over a clip.
+
+    ``results`` maps frame index to the detection list shown for that frame
+    (or is a list aligned with ``annotations``).  Frames missing from a
+    mapping score 0 — a frame for which the system produced nothing is a
+    total miss, matching how the paper accounts for start-up frames.
+    """
+    scores = np.zeros(len(annotations), dtype=np.float64)
+    if isinstance(results, Mapping):
+        get = results.get
+    else:
+        if len(results) != len(annotations):
+            raise ValueError(
+                f"results length {len(results)} != annotations {len(annotations)}"
+            )
+        get = lambda i, default=None: results[i]  # noqa: E731
+    for idx, annotation in enumerate(annotations):
+        detections = get(idx, None)
+        if detections is None:
+            scores[idx] = 0.0
+        else:
+            scores[idx] = f1_score(detections, annotation, iou_threshold)
+    return scores
+
+
+def video_accuracy(f1_series: np.ndarray, alpha: float = 0.7) -> float:
+    """Fraction of frames with F1 strictly above ``alpha``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    series = np.asarray(f1_series, dtype=np.float64)
+    if series.size == 0:
+        return 0.0
+    return float(np.mean(series > alpha))
+
+
+def suite_accuracy(per_video_accuracies: Sequence[float]) -> float:
+    """Dataset accuracy: the average per-video accuracy (§VI-A)."""
+    if not per_video_accuracies:
+        raise ValueError("need at least one video accuracy")
+    return float(np.mean(per_video_accuracies))

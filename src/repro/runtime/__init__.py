@@ -1,0 +1,32 @@
+"""Execution substrate: virtual time, frame buffer, events, pipeline runs.
+
+The paper's system runs on real Jetson TX2 hardware with a detector thread
+(GPU) and a tracker thread (CPU).  This package provides two equivalent
+execution substrates:
+
+- a **deterministic discrete-event model** (virtual clock + latency
+  models), used by every experiment so results are exactly reproducible;
+- a **real threaded executor** (:mod:`repro.runtime.realtime`) with the
+  paper's three-thread structure (main / detector / tracker), locks and
+  events, used by the live example and the concurrency tests.
+"""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.buffer import FrameBuffer
+from repro.runtime.events import EventQueue
+from repro.runtime.simulator import (
+    CycleRecord,
+    FrameResult,
+    PipelineRun,
+    ResultBoard,
+)
+
+__all__ = [
+    "VirtualClock",
+    "FrameBuffer",
+    "EventQueue",
+    "CycleRecord",
+    "FrameResult",
+    "PipelineRun",
+    "ResultBoard",
+]

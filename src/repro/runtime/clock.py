@@ -1,0 +1,43 @@
+"""Virtual clock for deterministic pipeline simulation.
+
+The clock only moves forward, by explicit ``advance``/``advance_to`` calls
+made by the pipeline as it charges component latencies.  Keeping it as an
+object (rather than a bare float threaded through the code) gives every
+pipeline the same monotonicity guarantee and a single place to catch
+accounting bugs (negative advances).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (must be non-negative); returns now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move forward to ``timestamp`` if it is in the future; returns now.
+
+        Advancing to a past timestamp is a no-op — the caller is waiting for
+        an event that has already happened.
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.3f}s)"

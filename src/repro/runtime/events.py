@@ -1,0 +1,67 @@
+"""A small discrete-event queue.
+
+Generic priority-queue scheduling used where a pipeline needs to interleave
+independently timed activities (and by tests that validate the timing
+algebra of the simulators).  Events fire in timestamp order; ties break by
+insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class EventQueue:
+    """Timestamp-ordered event dispatch with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], Any]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recently fired event."""
+        return self._now
+
+    def schedule(self, timestamp: float, action: Callable[[float], Any]) -> None:
+        """Schedule ``action(timestamp)`` to run at ``timestamp``.
+
+        Scheduling in the past (before the last fired event) is an error —
+        it would silently reorder causality.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot schedule at {timestamp} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (timestamp, next(self._counter), action))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        timestamp, _, action = heapq.heappop(self._heap)
+        self._now = timestamp
+        action(timestamp)
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Fire events until empty, ``until`` time, or ``max_events``.
+
+        Returns the number of events fired.  ``max_events`` guards against
+        runaway self-scheduling loops.
+        """
+        fired = 0
+        while self._heap and fired < max_events:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+            fired += 1
+        if fired >= max_events:
+            raise RuntimeError(f"event queue exceeded {max_events} events")
+        return fired

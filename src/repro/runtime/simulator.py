@@ -1,0 +1,179 @@
+"""Shared pipeline-run machinery for the deterministic simulators.
+
+Every method (AdaVP, fixed-setting MPDT, MARLIN, detection-only,
+continuous) produces a :class:`PipelineRun`: one result per frame plus the
+per-cycle records and the hardware activity log.  The :class:`ResultBoard`
+enforces the paper's display semantics — a frame the pipeline never touched
+shows the previous frame's result ("held"), and frames before the first
+detection show nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.detector import Detection
+from repro.metrics.energy import ActivityLog
+
+# Where a frame's displayed result came from.
+SOURCE_DETECTOR = "detector"
+SOURCE_TRACKER = "tracker"
+SOURCE_HELD = "held"
+SOURCE_NONE = "none"
+
+VALID_SOURCES = (SOURCE_DETECTOR, SOURCE_TRACKER, SOURCE_HELD, SOURCE_NONE)
+
+
+@dataclass(frozen=True, slots=True)
+class FrameResult:
+    """The result displayed for one frame."""
+
+    frame_index: int
+    detections: tuple[Detection, ...]
+    source: str
+    produced_at: float
+
+    def __post_init__(self) -> None:
+        if self.source not in VALID_SOURCES:
+            raise ValueError(f"unknown result source {self.source!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CycleRecord:
+    """One detection cycle of a pipeline (§IV terminology).
+
+    ``detect_frame`` is the frame the detector processed during the cycle;
+    the tracker handled ``buffered_frames`` frames accumulated behind it and
+    actually tracked ``tracked`` of the ``planned_tracked`` it selected.
+    ``velocity`` is the Eq. 3 content-change rate measured during the cycle
+    (``None`` when nothing could be tracked), and ``next_profile`` records
+    the adaptation decision taken at the end of the cycle.
+    """
+
+    index: int
+    profile_name: str
+    detect_frame: int
+    detect_start: float
+    detect_end: float
+    buffered_frames: int
+    planned_tracked: int
+    tracked: int
+    velocity: float | None
+    next_profile: str
+
+    @property
+    def detection_latency(self) -> float:
+        return self.detect_end - self.detect_start
+
+    @property
+    def switched(self) -> bool:
+        return self.next_profile != self.profile_name
+
+
+class ResultBoard:
+    """Collects per-frame results and fills display-hold gaps at the end."""
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        self.num_frames = num_frames
+        self._results: list[FrameResult | None] = [None] * num_frames
+
+    def post(self, result: FrameResult) -> None:
+        """Record a result; later posts for the same frame win.
+
+        (A detector result arriving for a frame the tracker already served
+        supersedes it — the calibrated result is strictly fresher.)
+        """
+        if not 0 <= result.frame_index < self.num_frames:
+            raise IndexError(f"frame {result.frame_index} out of range")
+        self._results[result.frame_index] = result
+
+    def get(self, frame_index: int) -> FrameResult | None:
+        return self._results[frame_index]
+
+    def finalize(self) -> list[FrameResult]:
+        """Fill untouched frames with the previous frame's result.
+
+        Frames before the first produced result get an empty ``none`` result
+        (the screen shows nothing during pipeline warm-up).
+        """
+        out: list[FrameResult] = []
+        last: FrameResult | None = None
+        for index in range(self.num_frames):
+            current = self._results[index]
+            if current is not None:
+                out.append(current)
+                last = current
+            elif last is not None:
+                out.append(
+                    FrameResult(
+                        frame_index=index,
+                        detections=last.detections,
+                        source=SOURCE_HELD,
+                        produced_at=last.produced_at,
+                    )
+                )
+            else:
+                out.append(
+                    FrameResult(
+                        frame_index=index,
+                        detections=(),
+                        source=SOURCE_NONE,
+                        produced_at=0.0,
+                    )
+                )
+        return out
+
+
+@dataclass
+class PipelineRun:
+    """Everything one method produced on one clip."""
+
+    method: str
+    clip_name: str
+    num_frames: int
+    fps: float
+    results: list[FrameResult]
+    cycles: list[CycleRecord] = field(default_factory=list)
+    activity: ActivityLog = field(default_factory=ActivityLog)
+    # Per-tracked-step (frame_index, Eq.3 velocity) pairs; populated on
+    # request (the adaptation trainer needs chunk-level velocity stats).
+    velocity_samples: list[tuple[int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.results) != self.num_frames:
+            raise ValueError(
+                f"expected {self.num_frames} results, got {len(self.results)}"
+            )
+
+    def detections_per_frame(self) -> list[tuple[Detection, ...]]:
+        return [r.detections for r in self.results]
+
+    def source_counts(self) -> dict[str, int]:
+        counts = dict.fromkeys(VALID_SOURCES, 0)
+        for result in self.results:
+            counts[result.source] += 1
+        return counts
+
+    def profile_usage(self) -> dict[str, int]:
+        """How many cycles ran under each detector setting (Fig. 8 data)."""
+        usage: dict[str, int] = {}
+        for cycle in self.cycles:
+            usage[cycle.profile_name] = usage.get(cycle.profile_name, 0) + 1
+        return usage
+
+    def cycles_between_switches(self) -> list[int]:
+        """Cycle counts between consecutive setting switches (Fig. 7 data).
+
+        A trailing stretch without a switch is not counted — the paper's CDF
+        is over completed switch intervals.
+        """
+        gaps: list[int] = []
+        run_length = 0
+        for cycle in self.cycles:
+            run_length += 1
+            if cycle.switched:
+                gaps.append(run_length)
+                run_length = 0
+        return gaps

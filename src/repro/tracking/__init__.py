@@ -1,0 +1,26 @@
+"""The paper's object tracker (§IV-C).
+
+Feature extraction (Shi-Tomasi, masked to detected boxes), pyramidal
+Lucas-Kanade propagation, per-object motion vectors, tracking-frame
+selection, and the Eq. 3 content-change velocity metric.
+"""
+
+from repro.tracking.tracker import (
+    ObjectTracker,
+    TrackerConfig,
+    TrackerLatencyModel,
+    TrackStep,
+)
+from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
+from repro.tracking.motion import MotionVelocityEstimator, motion_velocity
+
+__all__ = [
+    "ObjectTracker",
+    "TrackerConfig",
+    "TrackerLatencyModel",
+    "TrackStep",
+    "TrackingFrameSelector",
+    "select_spread_indices",
+    "MotionVelocityEstimator",
+    "motion_velocity",
+]

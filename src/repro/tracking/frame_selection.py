@@ -1,0 +1,95 @@
+"""Tracking-frame selection (paper §IV-C, "Tracking Frame Selection").
+
+Per-frame tracking + overlay costs more than the camera frame interval
+(Observation 4), so the tracker only processes a subset of the buffered
+frames, at regular intervals, and the untouched frames reuse the previous
+result.  The subset size is predicted from the previous cycle: MPDT
+computes the achieved fraction ``p = h_{t-1} / f_{t-1}`` and plans
+``h_t = p * f_t`` frames for the current cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def select_spread_indices(start: int, stop: int, count: int) -> list[int]:
+    """Pick ``count`` frame indices spread evenly over ``[start, stop)``.
+
+    The *last* frame of the range is always included when ``count >= 1``:
+    ending a cycle on the most recent frame keeps the display as fresh as
+    possible and anchors the next velocity measurement.  Returns an empty
+    list when the range is empty or ``count <= 0``.
+    """
+    length = stop - start
+    if length <= 0 or count <= 0:
+        return []
+    count = min(count, length)
+    # Evenly spaced positions ending exactly at stop-1.
+    positions = np.linspace(start + length / count - 1, stop - 1, count)
+    indices = sorted({int(round(p)) for p in positions})
+    # Rounding can merge neighbours; top up from unused indices if needed.
+    if len(indices) < count:
+        unused = [i for i in range(start, stop) if i not in set(indices)]
+        indices.extend(unused[: count - len(indices)])
+        indices.sort()
+    return indices
+
+
+class TrackingFrameSelector:
+    """Predicts how many buffered frames the tracker can handle per cycle.
+
+    The first cycle has no history, so the initial fraction comes from the
+    latency model: with a per-tracked-frame cost of ``c`` seconds and a
+    camera interval of ``dt``, the tracker keeps pace at ``p ~= dt / c``.
+    After each cycle the caller reports what was actually achieved and the
+    prediction follows the paper's ``p = h_{t-1} / f_{t-1}`` rule, smoothed
+    slightly to avoid oscillation when object counts jump between cycles.
+    """
+
+    def __init__(
+        self,
+        initial_fraction: float,
+        smoothing: float = 0.0,
+        min_fraction: float = 0.05,
+        frozen: bool = False,
+    ) -> None:
+        if not 0 < initial_fraction:
+            raise ValueError("initial_fraction must be positive")
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self._fraction = min(1.0, initial_fraction)
+        self._smoothing = smoothing
+        self._min_fraction = min_fraction
+        # frozen=True disables the paper's p = h/f update — the fixed-skip
+        # alternative the frame-selection ablation bench compares against.
+        self.frozen = frozen
+        self.history: list[tuple[int, int]] = []
+
+    @property
+    def fraction(self) -> float:
+        """The current predicted trackable fraction ``p``."""
+        return self._fraction
+
+    def plan(self, buffered_frames: int) -> int:
+        """How many of ``buffered_frames`` to track this cycle (``h_t``)."""
+        if buffered_frames < 0:
+            raise ValueError("buffered_frames must be non-negative")
+        if buffered_frames == 0:
+            return 0
+        return max(1, min(buffered_frames, int(round(self._fraction * buffered_frames))))
+
+    def record_cycle(self, tracked: int, buffered_frames: int) -> None:
+        """Report the achieved ``(h_{t-1}, f_{t-1})`` of the finished cycle."""
+        if tracked < 0 or buffered_frames < 0:
+            raise ValueError("counts must be non-negative")
+        if tracked > buffered_frames:
+            raise ValueError("cannot track more frames than were buffered")
+        self.history.append((tracked, buffered_frames))
+        if self.frozen or buffered_frames == 0:
+            return
+        achieved = max(self._min_fraction, tracked / buffered_frames)
+        self._fraction = (
+            self._smoothing * self._fraction + (1.0 - self._smoothing) * achieved
+        )
+        self._fraction = min(1.0, self._fraction)

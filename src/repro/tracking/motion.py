@@ -1,0 +1,105 @@
+"""Video-content change rate from tracker intermediate results (Eq. 3).
+
+The metric is the mean per-frame motion magnitude of the tracked feature
+points::
+
+    v_{i,j} = sum_k |f_i^k - f_j^k|  /  (M * (j - i))
+
+normalised by the frame gap ``j - i`` because the tracker skips frames.
+It is "almost free" (paper §IV-D2): the displacements already exist as the
+tracker's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def motion_velocity(
+    prev_points: np.ndarray,
+    next_points: np.ndarray,
+    frame_gap: int,
+    status: np.ndarray | None = None,
+) -> float | None:
+    """Eq. 3: mean feature displacement per frame between two tracked frames.
+
+    ``prev_points``/``next_points`` are ``(M, 2)`` positions of the same
+    features in the earlier and later frame; ``frame_gap`` is ``j - i``.
+    ``status`` optionally restricts to successfully tracked features.
+    Returns ``None`` when no feature survives — the caller decides how to
+    handle an unmeasurable chunk.
+    """
+    if frame_gap <= 0:
+        raise ValueError("frame_gap must be positive")
+    prev_points = np.asarray(prev_points, dtype=np.float64).reshape(-1, 2)
+    next_points = np.asarray(next_points, dtype=np.float64).reshape(-1, 2)
+    if prev_points.shape != next_points.shape:
+        raise ValueError("point arrays must have matching shapes")
+    if status is not None:
+        mask = np.asarray(status, dtype=bool)
+        prev_points = prev_points[mask]
+        next_points = next_points[mask]
+    if prev_points.shape[0] == 0:
+        return None
+    displacement = np.hypot(
+        next_points[:, 0] - prev_points[:, 0], next_points[:, 1] - prev_points[:, 1]
+    )
+    return float(displacement.mean() / frame_gap)
+
+
+class MotionVelocityEstimator:
+    """Accumulates per-step velocity samples over one detection cycle.
+
+    AdaVP decides the *next* DNN setting from the velocity measured during
+    the *current* cycle (§IV-D3), so the pipeline resets this estimator at
+    each cycle boundary and reads the aggregate at the end.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def add_step(
+        self,
+        prev_points: np.ndarray,
+        next_points: np.ndarray,
+        frame_gap: int,
+        status: np.ndarray | None = None,
+    ) -> float | None:
+        sample = motion_velocity(prev_points, next_points, frame_gap, status)
+        if sample is not None:
+            self._samples.append(sample)
+        return sample
+
+    def add_sample(self, velocity: float) -> None:
+        if velocity < 0:
+            raise ValueError("velocity must be non-negative")
+        self._samples.append(velocity)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def cycle_velocity(self) -> float | None:
+        """Mean velocity over the cycle, or ``None`` if nothing was tracked."""
+        if not self._samples:
+            return None
+        return float(np.mean(self._samples))
+
+    def peak_velocity(self) -> float | None:
+        """The cycle's highest per-step velocity, or ``None``.
+
+        Fast objects shed tracked features quickly, so later steps of a
+        cycle measure mostly the slow survivors; the mean then
+        under-reports exactly the content the adaptation must react to.
+        The peak is robust to that survivor bias, and is what the AdaVP
+        pipeline feeds to the adaptation module.
+        """
+        if not self._samples:
+            return None
+        return float(np.max(self._samples))
+
+    def last_sample(self) -> float | None:
+        return self._samples[-1] if self._samples else None
+
+    def reset(self) -> None:
+        self._samples.clear()

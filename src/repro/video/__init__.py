@@ -1,0 +1,50 @@
+"""Synthetic video substrate.
+
+The paper evaluates AdaVP on 45 real videos (ImageNet VID, Videezy,
+YouTube).  Those videos, and the Jetson TX2 camera, are unavailable here,
+so this package provides the closest synthetic equivalent: parameterised
+scenarios that generate both per-frame ground-truth annotations and
+rendered, textured grayscale frames that the from-scratch Lucas-Kanade
+tracker can actually track.
+
+The key property preserved from the paper's dataset is the *content change
+rate*: every scenario controls object speed, camera pan speed, and object
+arrival rate, which are exactly the variables AdaVP's model-adaptation
+module responds to.
+"""
+
+from repro.video.objects import (
+    OBJECT_LABELS,
+    SceneObject,
+    Trajectory,
+)
+from repro.video.scenario import ScenarioConfig, ScenarioPhase, SpawnSpec
+from repro.video.scene import FrameAnnotation, GroundTruthObject, Scene
+from repro.video.render import FrameRenderer
+from repro.video.library import (
+    SCENARIO_PRESETS,
+    list_scenarios,
+    make_scenario,
+)
+from repro.video.dataset import VideoClip, VideoSuite, make_clip
+from repro.video.source import CameraSource
+
+__all__ = [
+    "OBJECT_LABELS",
+    "SceneObject",
+    "Trajectory",
+    "ScenarioConfig",
+    "ScenarioPhase",
+    "SpawnSpec",
+    "FrameAnnotation",
+    "GroundTruthObject",
+    "Scene",
+    "FrameRenderer",
+    "SCENARIO_PRESETS",
+    "list_scenarios",
+    "make_scenario",
+    "VideoClip",
+    "VideoSuite",
+    "make_clip",
+    "CameraSource",
+]

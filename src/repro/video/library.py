@@ -1,0 +1,281 @@
+"""Named scenario presets.
+
+The paper's training corpus spans 14 scenario families (highway,
+intersection, city street, train station, bus station, residential area,
+car-mounted highway and downtown, airplanes, boats, wildlife, racetrack,
+meeting room, skating rink).  Each preset here reproduces the family's
+characteristic *content change rate* — the property AdaVP adapts to — via
+object speeds (apparent, i.e. frame-space), arrival rates, and camera pan.
+
+Speeds are in pixels/frame at the default 320x180 render size.  As rough
+regimes: < 1 px/frame is "slow" (meeting room, boats), 1–2.5 is "medium"
+(city streets), > 2.5 is "fast" (highway surveillance, racetrack,
+car-mounted highway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.video.scenario import ScenarioConfig, SpawnSpec
+
+# Object footprint presets at 320x180 (roughly quarter-scale 720p).
+_SIZES: dict[str, tuple[tuple[float, float], tuple[float, float]]] = {
+    "person": ((9.0, 13.0), (20.0, 30.0)),
+    "car": ((30.0, 42.0), (15.0, 21.0)),
+    "truck": ((42.0, 56.0), (20.0, 28.0)),
+    "bus": ((46.0, 60.0), (22.0, 30.0)),
+    "bicycle": ((11.0, 15.0), (17.0, 23.0)),
+    "motorbike": ((12.0, 17.0), (16.0, 22.0)),
+    "dog": ((13.0, 18.0), (9.0, 13.0)),
+    "horse": ((20.0, 28.0), (16.0, 22.0)),
+    "airplane": ((50.0, 70.0), (16.0, 24.0)),
+    "boat": ((40.0, 60.0), (18.0, 26.0)),
+    "train": ((90.0, 130.0), (26.0, 34.0)),
+}
+
+
+# Per-class non-rigidity: articulated classes deform strongly on video,
+# vehicles weakly (see SpawnSpec.deformability).
+_DEFORMABILITY: dict[str, float] = {
+    "person": 1.3,
+    "car": 0.45,
+    "truck": 0.5,
+    "bus": 0.5,
+    "bicycle": 1.0,
+    "motorbike": 0.8,
+    "dog": 1.2,
+    "horse": 1.2,
+    "airplane": 0.3,
+    "boat": 0.6,
+    "train": 0.4,
+}
+
+
+def _spawn(
+    label: str,
+    rate: float,
+    speed: tuple[float, float],
+    direction: str = "lateral",
+    scale_rate: tuple[float, float] = (1.0, 1.0),
+    weight: float = 1.0,
+    deformability: float | None = None,
+) -> SpawnSpec:
+    width_range, height_range = _SIZES[label]
+    return SpawnSpec(
+        label=label,
+        arrival_rate=rate,
+        speed_min=speed[0],
+        speed_max=speed[1],
+        width_range=width_range,
+        height_range=height_range,
+        direction=direction,
+        scale_rate_range=scale_rate,
+        weight=weight,
+        deformability=(
+            _DEFORMABILITY[label] if deformability is None else deformability
+        ),
+    )
+
+
+def _highway_surveillance() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="highway_surveillance",
+        spawns=(
+            _spawn("car", 0.038, (2.6, 4.2), weight=3.0),
+            _spawn("truck", 0.008, (2.2, 3.4)),
+            _spawn("bus", 0.005, (2.0, 3.0)),
+        ),
+        initial_objects=5,
+    )
+
+
+def _intersection() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="intersection",
+        spawns=(
+            _spawn("car", 0.022, (1.2, 2.6), direction="any", weight=3.0),
+            _spawn("truck", 0.005, (1.0, 2.0), direction="any"),
+            _spawn("person", 0.010, (0.5, 1.2), direction="any", weight=2.0),
+            _spawn("bicycle", 0.005, (0.8, 1.8), direction="any"),
+        ),
+        initial_objects=5,
+    )
+
+
+def _city_street() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="city_street",
+        spawns=(
+            _spawn("car", 0.014, (1.0, 2.2), weight=2.0),
+            _spawn("person", 0.005, (0.5, 1.1), weight=2.0),
+            _spawn("motorbike", 0.004, (1.4, 2.6)),
+        ),
+        initial_objects=5,
+    )
+
+
+def _train_station() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="train_station",
+        spawns=(
+            _spawn("train", 0.004, (1.2, 2.4)),
+            _spawn("person", 0.012, (0.3, 0.9), direction="any", weight=3.0),
+        ),
+        initial_objects=5,
+    )
+
+
+def _bus_station() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="bus_station",
+        spawns=(
+            _spawn("bus", 0.01, (0.8, 1.6)),
+            _spawn("person", 0.012, (0.3, 0.9), direction="any", weight=3.0),
+        ),
+        initial_objects=5,
+    )
+
+
+def _residential() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="residential",
+        spawns=(
+            _spawn("car", 0.012, (0.6, 1.4)),
+            _spawn("person", 0.008, (0.3, 0.7), direction="any", weight=2.0),
+            _spawn("dog", 0.008, (0.4, 1.0), direction="any"),
+        ),
+        initial_objects=4,
+    )
+
+
+def _car_highway() -> ScenarioConfig:
+    # Car-mounted camera: everything sweeps through the frame quickly and the
+    # background flows fast.
+    return ScenarioConfig(
+        name="car_highway",
+        spawns=(
+            _spawn("car", 0.035, (2.8, 4.5), weight=3.0, scale_rate=(1.0, 1.008)),
+            _spawn("truck", 0.012, (2.4, 3.8), scale_rate=(1.0, 1.006)),
+        ),
+        initial_objects=4,
+        camera_pan=(2.5, 0.0),
+        camera_jitter=0.4,
+    )
+
+
+def _car_downtown() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="car_downtown",
+        spawns=(
+            _spawn("car", 0.030, (1.6, 3.2), weight=3.0, scale_rate=(1.0, 1.006)),
+            _spawn("person", 0.010, (1.0, 2.2), direction="any"),
+            _spawn("bicycle", 0.005, (1.2, 2.4), direction="any"),
+        ),
+        initial_objects=5,
+        camera_pan=(1.5, 0.0),
+        camera_jitter=0.5,
+    )
+
+
+def _airplanes() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="airplanes",
+        spawns=(_spawn("airplane", 0.006, (0.5, 1.4), scale_rate=(0.999, 1.003)),),
+        initial_objects=2,
+        background_contrast=0.12,
+    )
+
+
+def _boat() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="boat",
+        spawns=(_spawn("boat", 0.008, (0.3, 0.9)),),
+        initial_objects=2,
+        background_contrast=0.15,
+        camera_jitter=0.3,
+    )
+
+
+def _wildlife() -> ScenarioConfig:
+    # Handheld panning shots of animals: medium speeds, shaky background.
+    return ScenarioConfig(
+        name="wildlife",
+        spawns=(
+            _spawn("horse", 0.015, (1.2, 2.6), direction="any", weight=2.0),
+            _spawn("dog", 0.012, (1.0, 2.4), direction="any"),
+        ),
+        initial_objects=3,
+        camera_pan=(1.0, 0.2),
+        camera_jitter=0.8,
+    )
+
+
+def _racetrack() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="racetrack",
+        spawns=(
+            _spawn("car", 0.040, (3.2, 5.0), weight=3.0),
+            _spawn("motorbike", 0.018, (3.4, 5.2)),
+        ),
+        initial_objects=4,
+        camera_jitter=0.5,
+    )
+
+
+def _meeting_room() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="meeting_room",
+        spawns=(_spawn("person", 0.006, (0.1, 0.45), direction="ambient", weight=1.0),),
+        initial_objects=5,
+        background_contrast=0.18,
+    )
+
+
+def _skating_rink() -> ScenarioConfig:
+    return ScenarioConfig(
+        name="skating_rink",
+        spawns=(_spawn("person", 0.03, (1.2, 2.6), direction="any"),),
+        initial_objects=6,
+        background_contrast=0.14,
+    )
+
+
+SCENARIO_PRESETS: dict[str, Callable[[], ScenarioConfig]] = {
+    "highway_surveillance": _highway_surveillance,
+    "intersection": _intersection,
+    "city_street": _city_street,
+    "train_station": _train_station,
+    "bus_station": _bus_station,
+    "residential": _residential,
+    "car_highway": _car_highway,
+    "car_downtown": _car_downtown,
+    "airplanes": _airplanes,
+    "boat": _boat,
+    "wildlife": _wildlife,
+    "racetrack": _racetrack,
+    "meeting_room": _meeting_room,
+    "skating_rink": _skating_rink,
+}
+
+
+def list_scenarios() -> list[str]:
+    """Names of all scenario presets, in a stable order."""
+    return sorted(SCENARIO_PRESETS)
+
+
+def make_scenario(name: str, num_frames: int | None = None, **overrides) -> ScenarioConfig:
+    """Instantiate a preset, optionally overriding any config field."""
+    try:
+        factory = SCENARIO_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(list_scenarios())}"
+        ) from None
+    config = factory()
+    if num_frames is not None:
+        overrides["num_frames"] = num_frames
+    if overrides:
+        config = replace(config, **overrides)
+    return config

@@ -1,0 +1,132 @@
+"""Scene objects and their motion.
+
+Every object in a synthetic video is a :class:`SceneObject`: a labelled,
+textured rectangle following a :class:`Trajectory` through world
+coordinates.  World coordinates are camera-independent; the scene converts
+them to frame coordinates by subtracting the camera offset, which is how
+camera panning produces apparent motion of the whole scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Box
+
+# The label vocabulary used across the reproduction.  It mirrors the object
+# classes the paper's videos contain ("cars, trucks, trains, persons,
+# airplanes, animals").
+OBJECT_LABELS: tuple[str, ...] = (
+    "person",
+    "car",
+    "truck",
+    "bus",
+    "bicycle",
+    "motorbike",
+    "dog",
+    "horse",
+    "airplane",
+    "boat",
+    "train",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Trajectory:
+    """Deterministic kinematic path of an object in world coordinates.
+
+    Position at ``k`` frames after spawn is::
+
+        center(k) = (cx0 + vx*k + 0.5*ax*k^2,  cy0 + vy*k + 0.5*ay*k^2)
+
+    and the object's size grows geometrically with ``scale_rate`` per frame,
+    which models objects approaching or receding from the camera.
+    """
+
+    cx0: float
+    cy0: float
+    vx: float
+    vy: float
+    ax: float = 0.0
+    ay: float = 0.0
+    scale_rate: float = 1.0
+
+    def center_at(self, k: float) -> tuple[float, float]:
+        """World-space centre ``k`` frames after spawn."""
+        if k < 0:
+            raise ValueError(f"trajectory queried before spawn (k={k})")
+        return (
+            self.cx0 + self.vx * k + 0.5 * self.ax * k * k,
+            self.cy0 + self.vy * k + 0.5 * self.ay * k * k,
+        )
+
+    def scale_at(self, k: float) -> float:
+        """Multiplicative size factor ``k`` frames after spawn."""
+        if k < 0:
+            raise ValueError(f"trajectory queried before spawn (k={k})")
+        return self.scale_rate**k
+
+    def speed(self, k: float = 0.0) -> float:
+        """Instantaneous speed in world pixels per frame."""
+        vx = self.vx + self.ax * k
+        vy = self.vy + self.ay * k
+        return float((vx * vx + vy * vy) ** 0.5)
+
+
+@dataclass(frozen=True, slots=True)
+class SceneObject:
+    """One object in a synthetic scene.
+
+    ``spawn_frame`` is the first frame at which the object exists; the scene
+    decides visibility per frame from the object's box and the camera view.
+    ``texture_seed`` makes the rendered appearance deterministic.
+    """
+
+    object_id: int
+    label: str
+    spawn_frame: int
+    base_width: float
+    base_height: float
+    trajectory: Trajectory
+    texture_seed: int
+    max_lifetime: int = 100_000
+    # Appearance deformation (articulation, out-of-plane rotation, motion
+    # blur-ish shimmer) in frame pixels; the renderer warps the object
+    # texture by up to this amplitude, which is what makes optical-flow
+    # tracking drift on fast or non-rigid content like it does on real
+    # video.  0 = perfectly rigid.
+    deform_amp: float = 0.0
+    deform_period: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.label not in OBJECT_LABELS:
+            raise ValueError(f"unknown object label {self.label!r}")
+        if self.base_width <= 0 or self.base_height <= 0:
+            raise ValueError("object size must be positive")
+        if self.max_lifetime <= 0:
+            raise ValueError("max_lifetime must be positive")
+        if self.deform_amp < 0:
+            raise ValueError("deform_amp must be non-negative")
+        if self.deform_period <= 0:
+            raise ValueError("deform_period must be positive")
+
+    def alive_at(self, frame_index: int) -> bool:
+        age = frame_index - self.spawn_frame
+        return 0 <= age < self.max_lifetime
+
+    def world_box_at(self, frame_index: int) -> Box:
+        """Unclipped box in world coordinates at ``frame_index``.
+
+        Callers must check :meth:`alive_at` first; querying a dead object is
+        a programming error.
+        """
+        age = frame_index - self.spawn_frame
+        if not self.alive_at(frame_index):
+            raise ValueError(
+                f"object {self.object_id} not alive at frame {frame_index}"
+            )
+        cx, cy = self.trajectory.center_at(age)
+        scale = self.trajectory.scale_at(age)
+        return Box.from_center(
+            cx, cy, self.base_width * scale, self.base_height * scale
+        )

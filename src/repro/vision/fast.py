@@ -1,0 +1,114 @@
+"""FAST corner detection (Features from Accelerated Segment Test).
+
+The paper §IV-C surveys feature detectors — SIFT, SURF, *good features to
+track*, FAST, ORB — and picks Shi-Tomasi after "evaluating the overall
+performance of all the above".  This module provides FAST so that
+comparison can actually be run here (``benchmarks/test_ablation_features``
+and the feature-detector ablation in DESIGN.md).
+
+Implementation: the standard segment test on a Bresenham circle of radius
+3 (16 pixels).  A pixel is a corner when ``n`` contiguous circle pixels
+are all brighter than ``p + t`` or all darker than ``p - t``.  Vectorised
+over the whole image; non-maximum suppression uses the sum-of-absolute-
+differences score, as in the original FAST-9 formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Offsets (dx, dy) of the 16-pixel Bresenham circle of radius 3, clockwise.
+_CIRCLE: tuple[tuple[int, int], ...] = (
+    (0, -3), (1, -3), (2, -2), (3, -1),
+    (3, 0), (3, 1), (2, 2), (1, 3),
+    (0, 3), (-1, 3), (-2, 2), (-3, 1),
+    (-3, 0), (-3, -1), (-2, -2), (-1, -3),
+)
+
+
+def fast_response(
+    image: np.ndarray, threshold: float = 0.08, arc_length: int = 9
+) -> np.ndarray:
+    """Per-pixel FAST corner score (0 where the segment test fails).
+
+    The score is the sum of absolute differences between the centre and the
+    contiguous arc, the usual non-max-suppression criterion.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("fast_response expects a 2-D image")
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be in (0, 1)")
+    if not 1 <= arc_length <= 16:
+        raise ValueError("arc_length must be in [1, 16]")
+    h, w = image.shape
+    if h < 7 or w < 7:
+        return np.zeros_like(image)
+
+    interior = image[3 : h - 3, 3 : w - 3]
+    brighter = np.zeros((16,) + interior.shape, dtype=bool)
+    darker = np.zeros_like(brighter)
+    diffs = np.zeros((16,) + interior.shape, dtype=np.float64)
+    for k, (dx, dy) in enumerate(_CIRCLE):
+        ring = image[3 + dy : h - 3 + dy, 3 + dx : w - 3 + dx]
+        diffs[k] = np.abs(ring - interior)
+        brighter[k] = ring > interior + threshold
+        darker[k] = ring < interior - threshold
+
+    def has_arc(mask: np.ndarray) -> np.ndarray:
+        # A contiguous run of arc_length on a circular sequence: double the
+        # sequence and look for a run in any window.
+        doubled = np.concatenate([mask, mask[: arc_length - 1]], axis=0)
+        out = np.zeros(interior.shape, dtype=bool)
+        run = np.zeros(interior.shape, dtype=np.int64)
+        for k in range(doubled.shape[0]):
+            run = np.where(doubled[k], run + 1, 0)
+            out |= run >= arc_length
+        return out
+
+    corner = has_arc(brighter) | has_arc(darker)
+    score = np.where(corner, diffs.sum(axis=0), 0.0)
+    response = np.zeros_like(image)
+    response[3 : h - 3, 3 : w - 3] = score
+    return response
+
+
+def fast_corners(
+    image: np.ndarray,
+    max_corners: int = 100,
+    threshold: float = 0.08,
+    arc_length: int = 9,
+    min_distance: float = 4.0,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Detect up to ``max_corners`` FAST corners, strongest first.
+
+    Same interface as :func:`repro.vision.features.good_features_to_track`
+    so the tracker can swap detectors for the ablation study.
+    """
+    if max_corners < 1:
+        raise ValueError("max_corners must be >= 1")
+    response = fast_response(image, threshold, arc_length)
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.shape != response.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match image {response.shape}"
+            )
+        response = np.where(mask.astype(bool), response, 0.0)
+    candidate_ys, candidate_xs = np.nonzero(response > 0)
+    if candidate_ys.size == 0:
+        return np.zeros((0, 2), dtype=np.float64)
+    scores = response[candidate_ys, candidate_xs]
+    order = np.argsort(scores)[::-1]
+    candidate_xs = candidate_xs[order]
+    candidate_ys = candidate_ys[order]
+
+    selected: list[tuple[float, float]] = []
+    min_dist_sq = min_distance * min_distance
+    for x, y in zip(candidate_xs, candidate_ys):
+        if all((px - x) ** 2 + (py - y) ** 2 >= min_dist_sq for px, py in selected):
+            selected.append((float(x), float(y)))
+            if len(selected) >= max_corners:
+                break
+    return np.asarray(selected, dtype=np.float64).reshape(-1, 2)

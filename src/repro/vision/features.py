@@ -1,0 +1,109 @@
+"""Shi-Tomasi *good features to track* [Shi & Tomasi 1993].
+
+This is the feature extractor AdaVP runs on every DNN-detected frame
+(paper §IV-C).  The corner response is the smaller eigenvalue of the local
+gradient structure tensor; points are kept when their response exceeds a
+fraction of the global maximum, then thinned with a minimum-distance rule
+(greedy non-maximum suppression), exactly like OpenCV's
+``goodFeaturesToTrack``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import gaussian_blur, image_gradients
+
+
+def shi_tomasi_response(image: np.ndarray, window_sigma: float = 1.5) -> np.ndarray:
+    """Per-pixel minimum eigenvalue of the gradient structure tensor.
+
+    The structure tensor ``[[Sxx, Sxy], [Sxy, Syy]]`` is the gradient outer
+    product smoothed over a Gaussian window; its smaller eigenvalue is the
+    Shi-Tomasi "cornerness".
+    """
+    ix, iy = image_gradients(image)
+    sxx = gaussian_blur(ix * ix, window_sigma)
+    syy = gaussian_blur(iy * iy, window_sigma)
+    sxy = gaussian_blur(ix * iy, window_sigma)
+    trace_half = (sxx + syy) / 2.0
+    # Guard the sqrt against tiny negative values from floating-point error.
+    disc = np.sqrt(np.maximum(((sxx - syy) / 2.0) ** 2 + sxy * sxy, 0.0))
+    return trace_half - disc
+
+
+def good_features_to_track(
+    image: np.ndarray,
+    max_corners: int = 100,
+    quality_level: float = 0.05,
+    min_distance: float = 4.0,
+    mask: np.ndarray | None = None,
+    border: int = 2,
+) -> np.ndarray:
+    """Detect up to ``max_corners`` trackable points, strongest first.
+
+    Returns an ``(N, 2)`` array of ``(x, y)`` pixel coordinates.  ``mask``
+    (same shape as ``image``, truthy = allowed) restricts detection; AdaVP
+    masks everything outside the DNN-detected bounding boxes so features are
+    only extracted on objects (paper §V).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("good_features_to_track expects a 2-D image")
+    if max_corners < 1:
+        raise ValueError("max_corners must be >= 1")
+    if not 0 < quality_level <= 1:
+        raise ValueError("quality_level must be in (0, 1]")
+
+    response = shi_tomasi_response(image)
+    if border > 0:
+        response[:border, :] = 0.0
+        response[-border:, :] = 0.0
+        response[:, :border] = 0.0
+        response[:, -border:] = 0.0
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.shape != image.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match image {image.shape}"
+            )
+        response = np.where(mask.astype(bool), response, 0.0)
+
+    peak = float(response.max(initial=0.0))
+    if peak <= 0.0:
+        return np.zeros((0, 2), dtype=np.float64)
+    threshold = peak * quality_level
+
+    candidate_ys, candidate_xs = np.nonzero(response > threshold)
+    if candidate_ys.size == 0:
+        return np.zeros((0, 2), dtype=np.float64)
+    scores = response[candidate_ys, candidate_xs]
+    order = np.argsort(scores)[::-1]
+    candidate_xs = candidate_xs[order]
+    candidate_ys = candidate_ys[order]
+
+    # Greedy min-distance suppression on a coarse occupancy grid: a point is
+    # accepted only if no already-accepted point lies within min_distance.
+    cell = max(min_distance, 1.0)
+    grid: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    selected: list[tuple[float, float]] = []
+    min_dist_sq = min_distance * min_distance
+    for x, y in zip(candidate_xs, candidate_ys):
+        gx, gy = int(x // cell), int(y // cell)
+        ok = True
+        for nx in (gx - 1, gx, gx + 1):
+            for ny in (gy - 1, gy, gy + 1):
+                for px, py in grid.get((nx, ny), ()):
+                    if (px - x) ** 2 + (py - y) ** 2 < min_dist_sq:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                break
+        if ok:
+            selected.append((float(x), float(y)))
+            grid.setdefault((gx, gy), []).append((float(x), float(y)))
+            if len(selected) >= max_corners:
+                break
+    return np.asarray(selected, dtype=np.float64).reshape(-1, 2)

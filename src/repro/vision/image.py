@@ -1,0 +1,127 @@
+"""Low-level image operations used by the feature and optical-flow code.
+
+Images are 2-D ``float64`` (or ``float32``) numpy arrays with values in
+``[0, 1]`` indexed as ``image[row, col]`` — i.e. ``image[y, x]``.  Points
+are ``(x, y)`` pairs, matching the OpenCV convention the paper's code used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
+    """A normalised 1-D Gaussian kernel."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if radius is None:
+        radius = max(1, int(round(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs * xs) / (2.0 * sigma * sigma))
+    return kernel / kernel.sum()
+
+
+def _convolve1d_reflect(image: np.ndarray, kernel: np.ndarray, axis: int) -> np.ndarray:
+    """Separable 1-D convolution with reflect padding along ``axis``."""
+    radius = len(kernel) // 2
+    pad = [(0, 0), (0, 0)]
+    pad[axis] = (radius, radius)
+    padded = np.pad(image, pad, mode="reflect")
+    out = np.zeros_like(image, dtype=np.float64)
+    for i, k in enumerate(kernel):
+        if axis == 0:
+            out += k * padded[i : i + image.shape[0], :]
+        else:
+            out += k * padded[:, i : i + image.shape[1]]
+    return out
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian smoothing via separable convolution with reflect borders."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("gaussian_blur expects a 2-D image")
+    kernel = _gaussian_kernel1d(sigma)
+    return _convolve1d_reflect(_convolve1d_reflect(image, kernel, 0), kernel, 1)
+
+
+_SCHARR_DERIV = np.array([-1.0, 0.0, 1.0]) / 2.0
+_SCHARR_SMOOTH = np.array([3.0, 10.0, 3.0]) / 16.0
+
+
+def image_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Scharr-style image gradients ``(Ix, Iy)``.
+
+    Scharr's 3x3 kernels (derivative in one axis, smoothing in the other)
+    are what OpenCV's Lucas-Kanade uses internally; they are rotationally
+    better-behaved than plain central differences.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("image_gradients expects a 2-D image")
+    ix = _convolve1d_reflect(
+        _convolve1d_reflect(image, _SCHARR_DERIV, 1), _SCHARR_SMOOTH, 0
+    )
+    iy = _convolve1d_reflect(
+        _convolve1d_reflect(image, _SCHARR_DERIV, 0), _SCHARR_SMOOTH, 1
+    )
+    return ix, iy
+
+
+def pyramid_down(image: np.ndarray) -> np.ndarray:
+    """One pyramid level: Gaussian blur then 2x subsampling."""
+    image = np.asarray(image, dtype=np.float64)
+    if min(image.shape) < 2:
+        raise ValueError("image too small to downsample")
+    blurred = gaussian_blur(image, sigma=1.0)
+    return blurred[::2, ::2]
+
+
+def build_pyramid(image: np.ndarray, levels: int) -> list[np.ndarray]:
+    """An image pyramid ``[full, half, quarter, ...]`` with ``levels`` entries.
+
+    Stops early (returning fewer levels) if the image becomes too small for
+    a useful Lucas-Kanade window, rather than failing.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    pyramid = [np.asarray(image, dtype=np.float64)]
+    for _ in range(levels - 1):
+        current = pyramid[-1]
+        if min(current.shape) < 16:
+            break
+        pyramid.append(pyramid_down(current))
+    return pyramid
+
+
+def sample_bilinear(image: np.ndarray, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Bilinear interpolation of ``image`` at points ``(xs, ys)``.
+
+    Coordinates outside the image are clamped to the border, matching the
+    behaviour OpenCV uses for patch sampling near edges.  ``xs`` and ``ys``
+    may be any (matching) shape; the result has the same shape.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    if h < 2 or w < 2:
+        raise ValueError("sample_bilinear needs an image of at least 2x2")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    out_shape = xs.shape
+    xs = np.clip(xs.ravel(), 0.0, w - 1.000001)
+    ys = np.clip(ys.ravel(), 0.0, h - 1.000001)
+    x0 = xs.astype(np.intp)
+    y0 = ys.astype(np.intp)
+    fx = xs - x0
+    fy = ys - y0
+    # Flat gather: one fancy-index per corner is measurably faster than 2-D
+    # indexing, and this function is the hot path of Lucas-Kanade.
+    flat = image.ravel()
+    base = y0 * w + x0
+    tl = flat[base]
+    tr = flat[base + 1]
+    bl = flat[base + w]
+    br = flat[base + w + 1]
+    top = tl + (tr - tl) * fx
+    bottom = bl + (br - bl) * fx
+    return (top + (bottom - top) * fy).reshape(out_shape)

@@ -1,0 +1,225 @@
+"""Iterative pyramidal Lucas-Kanade sparse optical flow [Lucas & Kanade 1981].
+
+The equivalent of OpenCV's ``calcOpticalFlowPyrLK``, which the paper uses
+to propagate good features from one DNN-detected frame through the
+accumulated frames (paper §IV-C).  The implementation follows Bouguet's
+classic pyramidal formulation and is vectorised across feature points:
+all windows are gathered and iterated together, so tracking ~100 points
+costs a handful of numpy operations per iteration.
+
+Per-point status reports tracking failure, which is central to the paper's
+behaviour: fast content loses features, which degrades box propagation and
+raises the measured content-change velocity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import build_pyramid, image_gradients, sample_bilinear  # noqa: F401 (image_gradients used by FramePyramid)
+
+
+@dataclass(frozen=True, slots=True)
+class LKParams:
+    """Tuning knobs for pyramidal Lucas-Kanade.
+
+    Defaults mirror common OpenCV usage (15x15 window, 3 pyramid levels,
+    up to 10 iterations, 0.03 px convergence threshold).
+    """
+
+    window_radius: int = 7
+    pyramid_levels: int = 3
+    max_iterations: int = 10
+    epsilon: float = 0.03
+    min_eigen_threshold: float = 1e-5
+    # A point whose appearance changed too much between frames is reported
+    # lost.  0.055 (images in [0,1]) is tuned so deforming fast content
+    # sheds features within a few steps while slow rigid content keeps
+    # them — the differential that drives the paper's Observation 3.
+    max_residual: float = 0.048
+
+    def __post_init__(self) -> None:
+        if self.window_radius < 1:
+            raise ValueError("window_radius must be >= 1")
+        if self.pyramid_levels < 1:
+            raise ValueError("pyramid_levels must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+
+
+class FramePyramid:
+    """Precomputed pyramid (images + gradients) for one frame.
+
+    Tracking frame ``i`` to ``i+1`` and then ``i+1`` to ``i+2`` reuses the
+    middle frame's pyramid, which roughly halves per-step cost — the same
+    optimisation OpenCV exposes via ``buildOpticalFlowPyramid``.
+    """
+
+    def __init__(self, image: np.ndarray, levels: int) -> None:
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 2:
+            raise ValueError("FramePyramid expects a 2-D grayscale frame")
+        self.shape = image.shape
+        self.images = build_pyramid(image, levels)
+        self._gradients: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(
+            self.images
+        )
+
+    @property
+    def levels(self) -> int:
+        return len(self.images)
+
+    def gradients(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._gradients[level]
+        if cached is None:
+            cached = image_gradients(self.images[level])
+            self._gradients[level] = cached
+        return cached
+
+
+@dataclass(frozen=True, slots=True)
+class FlowResult:
+    """Result of tracking N points between two frames.
+
+    ``points``: ``(N, 2)`` tracked positions in the second frame.
+    ``status``: ``(N,)`` bool, True where tracking succeeded.
+    ``residual``: ``(N,)`` mean absolute window residual (diagnostics).
+    """
+
+    points: np.ndarray
+    status: np.ndarray
+    residual: np.ndarray
+
+    def good_points(self) -> np.ndarray:
+        return self.points[self.status]
+
+
+def _window_grid(radius: int) -> tuple[np.ndarray, np.ndarray]:
+    offs = np.arange(-radius, radius + 1, dtype=np.float64)
+    dx, dy = np.meshgrid(offs, offs)
+    return dx, dy
+
+
+def track_features(
+    prev_image: np.ndarray | FramePyramid,
+    next_image: np.ndarray | FramePyramid,
+    points: np.ndarray,
+    params: LKParams | None = None,
+) -> FlowResult:
+    """Track ``points`` from ``prev_image`` to ``next_image``.
+
+    ``points`` is ``(N, 2)`` in ``(x, y)`` order.  Both frames must share
+    the same shape and be 2-D grayscale in ``[0, 1]``; either may be passed
+    as a precomputed :class:`FramePyramid` to amortise pyramid construction
+    across consecutive tracking steps.
+    """
+    params = params or LKParams()
+    if not isinstance(prev_image, FramePyramid):
+        prev_image = FramePyramid(prev_image, params.pyramid_levels)
+    if not isinstance(next_image, FramePyramid):
+        next_image = FramePyramid(next_image, params.pyramid_levels)
+    if prev_image.shape != next_image.shape:
+        raise ValueError("frame shapes differ")
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    n = points.shape[0]
+    if n == 0:
+        return FlowResult(
+            points=np.zeros((0, 2)),
+            status=np.zeros(0, dtype=bool),
+            residual=np.zeros(0),
+        )
+
+    prev_pyr = prev_image.images
+    next_pyr = next_image.images
+    levels = min(prev_image.levels, next_image.levels)
+
+    dx, dy = _window_grid(params.window_radius)
+    window_area = dx.size
+
+    flow = np.zeros((n, 2), dtype=np.float64)
+    status = np.ones(n, dtype=bool)
+    residual = np.full(n, np.inf, dtype=np.float64)
+
+    for level in range(levels - 1, -1, -1):
+        prev_l = prev_pyr[level]
+        next_l = next_pyr[level]
+        grad_x, grad_y = prev_image.gradients(level)
+        scale = 0.5**level
+        pts_l = points * scale
+        h, w = prev_l.shape
+
+        # Window sample coordinates around each point in the previous frame:
+        # shapes (N, W, W).
+        wx = pts_l[:, 0, None, None] + dx[None]
+        wy = pts_l[:, 1, None, None] + dy[None]
+
+        in_bounds = (
+            (pts_l[:, 0] >= params.window_radius)
+            & (pts_l[:, 0] <= w - 1 - params.window_radius)
+            & (pts_l[:, 1] >= params.window_radius)
+            & (pts_l[:, 1] <= h - 1 - params.window_radius)
+        )
+
+        patch_prev = sample_bilinear(prev_l, wx, wy)
+        ix = sample_bilinear(grad_x, wx, wy)
+        iy = sample_bilinear(grad_y, wx, wy)
+
+        gxx = np.einsum("nij,nij->n", ix, ix)
+        gxy = np.einsum("nij,nij->n", ix, iy)
+        gyy = np.einsum("nij,nij->n", iy, iy)
+        trace_half = (gxx + gyy) / 2.0
+        disc = np.sqrt(np.maximum(((gxx - gyy) / 2.0) ** 2 + gxy * gxy, 0.0))
+        min_eigen = (trace_half - disc) / window_area
+        det = gxx * gyy - gxy * gxy
+
+        solvable = in_bounds & (min_eigen > params.min_eigen_threshold) & (det > 1e-12)
+        # Only the finest level is authoritative for failure: a point that
+        # falls outside a *coarse* level's usable area simply skips that
+        # level's refinement (matching OpenCV), keeping its current flow.
+        if level == 0:
+            status &= solvable
+        # Keep the solve well-defined for failed points; their output is
+        # ignored but must not produce NaNs that poison the arrays.
+        det_safe = np.where(det > 1e-12, det, 1.0)
+
+        v = np.zeros((n, 2), dtype=np.float64)
+        active = solvable.copy()
+        for _ in range(params.max_iterations):
+            if not active.any():
+                break
+            qx = wx + (flow[:, 0] + v[:, 0])[:, None, None]
+            qy = wy + (flow[:, 1] + v[:, 1])[:, None, None]
+            patch_next = sample_bilinear(next_l, qx, qy)
+            diff = patch_prev - patch_next
+            bx = np.einsum("nij,nij->n", diff, ix)
+            by = np.einsum("nij,nij->n", diff, iy)
+            dvx = (gyy * bx - gxy * by) / det_safe
+            dvy = (gxx * by - gxy * bx) / det_safe
+            step = np.where(active[:, None], np.stack([dvx, dvy], axis=1), 0.0)
+            v += step
+            active &= np.hypot(step[:, 0], step[:, 1]) >= params.epsilon
+
+        flow = np.where(solvable[:, None], flow + v, flow)
+
+        if level == 0:
+            qx = wx + flow[:, 0][:, None, None]
+            qy = wy + flow[:, 1][:, None, None]
+            patch_next = sample_bilinear(next_l, qx, qy)
+            residual = np.abs(patch_prev - patch_next).mean(axis=(1, 2))
+        else:
+            flow *= 2.0
+
+    new_points = points + flow
+    h0, w0 = prev_pyr[0].shape
+    inside = (
+        (new_points[:, 0] >= 0)
+        & (new_points[:, 0] <= w0 - 1)
+        & (new_points[:, 1] >= 0)
+        & (new_points[:, 1] <= h0 - 1)
+    )
+    status = status & inside & (residual <= params.max_residual)
+    return FlowResult(points=new_points, status=status, residual=residual)

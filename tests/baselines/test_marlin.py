@@ -1,0 +1,70 @@
+"""Unit tests for the MARLIN baseline."""
+
+import pytest
+
+from repro.baselines.marlin import MarlinConfig, MarlinPipeline
+from repro.runtime.simulator import SOURCE_DETECTOR, SOURCE_TRACKER
+
+
+@pytest.fixture(scope="module")
+def run(tiny_clip):
+    return MarlinPipeline(MarlinConfig(setting=512, trigger_velocity=1.2)).run(
+        tiny_clip
+    )
+
+
+class TestMarlinConfig:
+    def test_defaults(self):
+        cfg = MarlinConfig()
+        assert cfg.trigger_velocity > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarlinConfig(trigger_velocity=0.0)
+        with pytest.raises(ValueError):
+            MarlinConfig(max_cycle_seconds=-1.0)
+
+
+class TestMarlinRun:
+    def test_all_frames_served(self, run, tiny_clip):
+        assert len(run.results) == tiny_clip.num_frames
+
+    def test_sequential_structure(self, run):
+        """No tracker result falls inside any detection window — the
+
+        detector and tracker never overlap in MARLIN."""
+        windows = [(c.detect_start, c.detect_end) for c in run.cycles]
+        for result in run.results:
+            if result.source != SOURCE_TRACKER:
+                continue
+            for start, end in windows:
+                assert not (start < result.produced_at < end - 1e-9)
+
+    def test_fixed_setting_throughout(self, run):
+        assert all(c.profile_name == "yolov3-512" for c in run.cycles)
+
+    def test_detection_and_tracking_both_present(self, run):
+        counts = run.source_counts()
+        assert counts[SOURCE_DETECTOR] >= 1
+        assert counts[SOURCE_TRACKER] >= 1
+
+    def test_deterministic(self, tiny_clip):
+        cfg = MarlinConfig(setting=512)
+        a = MarlinPipeline(cfg).run(tiny_clip)
+        b = MarlinPipeline(cfg).run(tiny_clip)
+        assert [r.detections for r in a.results] == [r.detections for r in b.results]
+
+    def test_low_threshold_triggers_more_detections(self, tiny_clip):
+        eager = MarlinPipeline(MarlinConfig(trigger_velocity=0.2)).run(tiny_clip)
+        lazy = MarlinPipeline(MarlinConfig(trigger_velocity=50.0)).run(tiny_clip)
+        assert len(eager.cycles) > len(lazy.cycles)
+
+    def test_max_cycle_cap_forces_redetection(self, tiny_clip):
+        run = MarlinPipeline(
+            MarlinConfig(trigger_velocity=1e9, max_cycle_seconds=0.7)
+        ).run(tiny_clip)
+        # 2-second clip with a 0.7 s cap: at least two detections.
+        assert len(run.cycles) >= 2
+
+    def test_method_name(self):
+        assert MarlinPipeline(MarlinConfig(setting=320)).method_name == "marlin-yolov3-320"

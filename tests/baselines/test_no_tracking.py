@@ -1,0 +1,46 @@
+"""Unit tests for the detection-only baseline."""
+
+import pytest
+
+from repro.baselines.no_tracking import NoTrackingPipeline
+from repro.runtime.simulator import SOURCE_DETECTOR, SOURCE_HELD
+
+
+@pytest.fixture(scope="module")
+def run(tiny_clip):
+    return NoTrackingPipeline(512).run(tiny_clip)
+
+
+class TestNoTracking:
+    def test_all_frames_served(self, run, tiny_clip):
+        assert len(run.results) == tiny_clip.num_frames
+
+    def test_only_detector_and_held(self, run):
+        counts = run.source_counts()
+        assert counts["tracker"] == 0
+        assert counts[SOURCE_DETECTOR] == len(run.cycles)
+        assert counts[SOURCE_HELD] > 0
+
+    def test_held_frames_reuse_previous_detection(self, run):
+        last_detection = None
+        for result in run.results:
+            if result.source == SOURCE_DETECTOR:
+                last_detection = result.detections
+            elif result.source == SOURCE_HELD:
+                assert result.detections == last_detection
+
+    def test_gpu_always_busy(self, run, tiny_clip):
+        """The detector runs back to back: GPU busy ~= video duration."""
+        busy = sum(run.activity.gpu_busy.values())
+        assert busy >= 0.85 * (tiny_clip.num_frames / tiny_clip.fps)
+
+    def test_no_tracking_cpu_cost(self, run):
+        assert run.activity.cpu_busy.get("tracking", 0.0) == 0.0
+        assert run.activity.cpu_busy.get("feature_extraction", 0.0) == 0.0
+
+    def test_skipped_frames_match_latency(self, run, tiny_clip):
+        """Consecutive detected frames are ~latency*fps apart."""
+        for prev, cur in zip(run.cycles, run.cycles[1:]):
+            gap = cur.detect_frame - prev.detect_frame
+            expected = prev.detection_latency * tiny_clip.fps
+            assert abs(gap - expected) <= 2.0

@@ -1,0 +1,29 @@
+"""Shared fixtures: small, session-cached synthetic clips.
+
+Clip construction and rendering dominate test runtime, so the standard
+clips are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video.dataset import make_clip
+
+
+@pytest.fixture(scope="session")
+def highway_clip():
+    """A fast-content clip (highway surveillance), 90 frames."""
+    return make_clip("highway_surveillance", seed=1234, num_frames=90)
+
+
+@pytest.fixture(scope="session")
+def calm_clip():
+    """A slow-content clip (meeting room), 90 frames."""
+    return make_clip("meeting_room", seed=1234, num_frames=90)
+
+
+@pytest.fixture(scope="session")
+def tiny_clip():
+    """A very short clip for pipeline unit tests (60 frames = 2 s)."""
+    return make_clip("intersection", seed=77, num_frames=60)

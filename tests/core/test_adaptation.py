@@ -1,0 +1,161 @@
+"""Unit tests for the adaptation module: thresholds, policy, trainer."""
+
+import pytest
+
+from repro.core.adaptation import (
+    AdaptiveSettingPolicy,
+    ChunkRecord,
+    VelocityThresholds,
+    _best_split,
+    train_threshold_table,
+)
+import numpy as np
+
+
+class TestVelocityThresholds:
+    def test_pick_size_bands(self):
+        th = VelocityThresholds(v1=1.0, v2=2.0, v3=3.0)
+        assert th.pick_size(0.5) == 608
+        assert th.pick_size(1.0) == 608  # inclusive upper bound
+        assert th.pick_size(1.5) == 512
+        assert th.pick_size(2.5) == 416
+        assert th.pick_size(10.0) == 320
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            VelocityThresholds(v1=2.0, v2=1.0, v3=3.0)
+
+    def test_negative_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            VelocityThresholds(1, 2, 3).pick_size(-0.1)
+
+    def test_equal_thresholds_legal(self):
+        """Degenerate (collapsed) bands occur when a size is never best."""
+        th = VelocityThresholds(v1=1.0, v2=1.0, v3=1.0)
+        assert th.pick_size(0.5) == 608
+        assert th.pick_size(2.0) == 320
+
+
+class TestAdaptivePolicy:
+    def table(self):
+        return {
+            f"yolov3-{s}": VelocityThresholds(1.0, 2.0, 3.0)
+            for s in (320, 416, 512, 608)
+        }
+
+    def test_initial_setting(self):
+        policy = AdaptiveSettingPolicy(self.table(), initial_setting=608)
+        assert policy.initial() == "yolov3-608"
+
+    def test_switches_by_velocity(self):
+        policy = AdaptiveSettingPolicy(self.table())
+        assert policy.next_setting(0.5, "yolov3-512") == "yolov3-608"
+        assert policy.next_setting(1.5, "yolov3-512") == "yolov3-512"
+        assert policy.next_setting(2.5, "yolov3-512") == "yolov3-416"
+        assert policy.next_setting(5.0, "yolov3-512") == "yolov3-320"
+
+    def test_none_velocity_keeps_current(self):
+        policy = AdaptiveSettingPolicy(self.table())
+        assert policy.next_setting(None, "yolov3-416") == "yolov3-416"
+
+    def test_uses_current_settings_thresholds(self):
+        table = self.table()
+        table["yolov3-320"] = VelocityThresholds(10.0, 20.0, 30.0)
+        policy = AdaptiveSettingPolicy(table)
+        # Under 320's thresholds, v=5 is "slow" -> upshift to 608.
+        assert policy.next_setting(5.0, "yolov3-320") == "yolov3-608"
+        # Under 512's thresholds, v=5 is "fast" -> 320.
+        assert policy.next_setting(5.0, "yolov3-512") == "yolov3-320"
+
+    def test_missing_setting_rejected(self):
+        table = self.table()
+        del table["yolov3-416"]
+        with pytest.raises(ValueError):
+            AdaptiveSettingPolicy(table)
+
+    def test_pretrained_table_valid(self):
+        from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+
+        policy = AdaptiveSettingPolicy(DEFAULT_THRESHOLD_TABLE)
+        assert policy.next_setting(0.01, "yolov3-512") == "yolov3-608"
+
+
+class TestBestSplit:
+    def test_clean_separation(self):
+        velocities = np.array([0.1, 0.2, 0.3, 2.0, 2.1, 2.2])
+        wants_small = np.array([False, False, False, True, True, True])
+        split = _best_split(velocities, wants_small)
+        assert 0.3 < split < 2.0
+
+    def test_all_one_class(self):
+        velocities = np.array([1.0, 2.0, 3.0])
+        split_all_large = _best_split(velocities, np.zeros(3, dtype=bool))
+        assert split_all_large >= 3.0
+        split_all_small = _best_split(velocities, np.ones(3, dtype=bool))
+        assert split_all_small <= 1.0
+
+    def test_noisy_separation(self):
+        rng = np.random.default_rng(0)
+        slow = rng.normal(1.0, 0.2, 50)
+        fast = rng.normal(3.0, 0.2, 50)
+        velocities = np.concatenate([slow, fast])
+        wants_small = np.concatenate([np.zeros(50, bool), np.ones(50, bool)])
+        split = _best_split(velocities, wants_small)
+        assert 1.5 < split < 2.5
+
+
+def make_records(chunks):
+    """chunks: list of (velocity, best_size) -> full 4-setting record set."""
+    records = []
+    settings = ("yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320")
+    sizes = (608, 512, 416, 320)
+    for i, (velocity, best) in enumerate(chunks):
+        for setting, size in zip(settings, sizes):
+            records.append(
+                ChunkRecord(
+                    clip_name="clip",
+                    chunk_index=i,
+                    setting=setting,
+                    mean_f1=1.0 if size == best else 0.5,
+                    mean_velocity=velocity,
+                )
+            )
+    return records
+
+
+class TestTrainer:
+    def test_learns_clean_thresholds(self):
+        chunks = (
+            [(0.3, 608)] * 10 + [(1.2, 512)] * 10
+            + [(2.2, 416)] * 10 + [(3.5, 320)] * 10
+        )
+        table = train_threshold_table(make_records(chunks))
+        th = table["yolov3-512"]
+        assert 0.3 < th.v1 < 1.2
+        assert 1.2 < th.v2 < 2.2
+        assert 2.2 < th.v3 < 3.5
+
+    def test_thresholds_monotone(self):
+        chunks = [(0.5, 608), (0.6, 320), (1.0, 512), (2.0, 416), (3.0, 320)] * 5
+        table = train_threshold_table(make_records(chunks))
+        for th in table.values():
+            assert th.v1 <= th.v2 <= th.v3
+
+    def test_incomplete_chunks_skipped(self):
+        records = make_records([(1.0, 512)] * 5)
+        # Drop one setting's record for chunk 0: that chunk has no label.
+        records = [
+            r for r in records if not (r.chunk_index == 0 and r.setting == "yolov3-320")
+        ]
+        table = train_threshold_table(records)
+        assert set(table) == {
+            "yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320"
+        }
+
+    def test_no_usable_data_rejected(self):
+        records = [
+            ChunkRecord("c", 0, s, 0.5, None)
+            for s in ("yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320")
+        ]
+        with pytest.raises(ValueError):
+            train_threshold_table(records)

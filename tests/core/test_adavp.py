@@ -1,0 +1,70 @@
+"""Unit tests for the full AdaVP system."""
+
+import pytest
+
+from repro.core.adaptation import VelocityThresholds
+from repro.core.adavp import AdaVP
+from repro.core.config import PipelineConfig
+from repro.video.dataset import make_clip
+from repro.experiments.workloads import quick_suite
+
+
+@pytest.fixture(scope="module")
+def adavp_run(tiny_clip):
+    return AdaVP().process(tiny_clip)
+
+
+class TestAdaVP:
+    def test_process_covers_all_frames(self, adavp_run, tiny_clip):
+        assert len(adavp_run.results) == tiny_clip.num_frames
+        assert adavp_run.method == "adavp"
+
+    def test_uses_pretrained_thresholds_by_default(self):
+        from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+
+        system = AdaVP()
+        assert system.thresholds is DEFAULT_THRESHOLD_TABLE
+
+    def test_custom_thresholds(self, tiny_clip):
+        table = {
+            f"yolov3-{s}": VelocityThresholds(0.0, 0.0, 0.0)
+            for s in (320, 416, 512, 608)
+        }
+        # All-zero thresholds force 320 whenever any motion is measured.
+        run = AdaVP(thresholds=table).process(tiny_clip)
+        usage = run.profile_usage()
+        assert usage.get("yolov3-320", 0) >= len(run.cycles) - 3
+
+    def test_adapts_to_slow_content(self):
+        """On near-static content AdaVP must settle on the largest size."""
+        clip = make_clip("meeting_room", seed=44, num_frames=150)
+        run = AdaVP().process(clip)
+        usage = run.profile_usage()
+        assert usage.get("yolov3-608", 0) > usage.get("yolov3-320", 0)
+
+    def test_adapts_to_fast_content(self):
+        """On fast content AdaVP must avoid the 608 setting most cycles."""
+        clip = make_clip("racetrack", seed=44, num_frames=150)
+        run = AdaVP().process(clip)
+        usage = run.profile_usage()
+        big = usage.get("yolov3-608", 0)
+        small = sum(v for k, v in usage.items() if k != "yolov3-608")
+        assert small > big
+
+    def test_switch_log_consistent(self, adavp_run):
+        gaps = adavp_run.cycles_between_switches()
+        assert sum(gaps) <= len(adavp_run.cycles)
+
+    def test_train_classmethod(self):
+        suite = quick_suite(frames=90)
+        system = AdaVP.train(suite.clips, chunk_seconds=1.0)
+        for name in ("yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320"):
+            thresholds = system.thresholds[name]
+            assert thresholds.v1 <= thresholds.v2 <= thresholds.v3
+        run = system.process(suite.clips[0])
+        assert len(run.results) == suite.clips[0].num_frames
+
+    def test_config_shared_with_pipeline(self, tiny_clip):
+        config = PipelineConfig(detector_seed=9)
+        run = AdaVP(config=config).process(tiny_clip)
+        assert run.cycles  # ran with the custom config without error

@@ -1,0 +1,26 @@
+"""Unit tests for the shared pipeline configuration."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+
+
+class TestPipelineConfig:
+    def test_defaults(self):
+        cfg = PipelineConfig()
+        assert cfg.detector_seed == 0
+        assert cfg.latency.overlay == pytest.approx(0.050)
+
+    def test_initial_tracking_fraction(self):
+        cfg = PipelineConfig()
+        fraction = cfg.initial_tracking_fraction(fps=30.0)
+        # Per-frame cost ~63 ms vs 33 ms interval -> p ~ 0.53.
+        assert 0.4 < fraction < 0.7
+
+    def test_fraction_capped_at_one(self):
+        cfg = PipelineConfig()
+        assert cfg.initial_tracking_fraction(fps=1.0) == 1.0
+
+    def test_bad_fps(self):
+        with pytest.raises(ValueError):
+            PipelineConfig().initial_tracking_fraction(fps=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the multi-model adaptation extension."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import MPDTPipeline
+from repro.core.multimodel import MultiModelPolicy, model_family
+from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+
+
+class TestModelFamily:
+    def test_families(self):
+        assert model_family("yolov3-tiny-320") == "tiny"
+        assert model_family("yolov3-512") == "full"
+        assert model_family("yolov3-320") == "full"
+
+
+class TestMultiModelPolicy:
+    def policy(self, tiny_velocity=3.0):
+        return MultiModelPolicy(DEFAULT_THRESHOLD_TABLE, tiny_velocity)
+
+    def test_extreme_velocity_selects_tiny(self):
+        assert self.policy().next_setting(5.0, "yolov3-512") == "yolov3-tiny-320"
+
+    def test_normal_velocity_delegates_to_size_policy(self):
+        policy = self.policy()
+        assert policy.next_setting(0.1, "yolov3-512") == "yolov3-608"
+        assert policy.next_setting(2.0, "yolov3-512") == "yolov3-512"
+
+    def test_returns_from_tiny(self):
+        policy = self.policy()
+        chosen = policy.next_setting(0.5, "yolov3-tiny-320")
+        assert model_family(chosen) == "full"
+
+    def test_none_velocity_keeps_current(self):
+        assert self.policy().next_setting(None, "yolov3-tiny-320") == "yolov3-tiny-320"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiModelPolicy(DEFAULT_THRESHOLD_TABLE, tiny_velocity=0.0)
+
+
+class TestReloadCharging:
+    def test_reload_latency_extends_cycle(self, tiny_clip):
+        """Crossing the model family boundary costs reload time."""
+
+        class FlipFlop:
+            """Alternates full <-> tiny every cycle (pure in its inputs)."""
+
+            def initial(self):
+                return "yolov3-512"
+
+            def next_setting(self, velocity, current):
+                return (
+                    "yolov3-tiny-320" if model_family(current) == "full"
+                    else "yolov3-512"
+                )
+
+        config = PipelineConfig(model_reload_latency=0.8)
+        flip = MPDTPipeline(FlipFlop(), config).run(tiny_clip)
+        steady = MPDTPipeline(
+            MultiModelPolicy(DEFAULT_THRESHOLD_TABLE, tiny_velocity=1e9), config
+        ).run(tiny_clip)
+        # The flip-flopping run pays ~0.8 s per cycle: far fewer cycles fit
+        # in the clip, and gaps between consecutive detection starts exceed
+        # the pure detection latency.
+        gaps_flip = [
+            b.detect_start - a.detect_end
+            for a, b in zip(flip.cycles, flip.cycles[1:])
+        ]
+        assert gaps_flip and min(gaps_flip) >= 0.75
+        gaps_steady = [
+            b.detect_start - a.detect_end
+            for a, b in zip(steady.cycles, steady.cycles[1:])
+        ]
+        assert max(gaps_steady, default=0.0) < 0.05

@@ -1,0 +1,81 @@
+"""Calibration tests: the detector matches the paper's Fig. 1 measurements.
+
+These use a fixed mixed workload and assert the mean per-frame F1 per
+input size lands near the paper's curve (0.62 -> 0.88 over 320 -> 608)
+and that latency spans 230-500 ms.  Tolerances are loose enough to survive
+seed changes but tight enough to catch calibration regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import SimulatedYOLOv3
+from repro.metrics.matching import f1_score
+from repro.video.dataset import make_clip
+from repro.video.library import list_scenarios
+
+
+@pytest.fixture(scope="module")
+def workload():
+    clips = [
+        make_clip(name, seed=7 + i, num_frames=60)
+        for i, name in enumerate(list_scenarios())
+    ]
+    return [
+        clip.annotation(i) for clip in clips for i in range(0, clip.num_frames, 4)
+    ]
+
+
+def _mean_f1(setting, workload):
+    det = SimulatedYOLOv3(setting, seed=3)
+    return float(
+        np.mean([f1_score(det.detect(ann).detections, ann) for ann in workload])
+    )
+
+
+# Paper Fig. 1 / §III-B targets.
+FIG1_TARGETS = {
+    "yolov3-320": 0.62,
+    "yolov3-416": 0.72,
+    "yolov3-512": 0.80,
+    "yolov3-608": 0.88,
+}
+
+
+@pytest.mark.parametrize("setting,target", sorted(FIG1_TARGETS.items()))
+def test_mean_f1_matches_fig1(setting, target, workload):
+    measured = _mean_f1(setting, workload)
+    assert measured == pytest.approx(target, abs=0.08), (
+        f"{setting}: measured {measured:.3f}, paper {target}"
+    )
+
+
+def test_f1_strictly_increases_with_input_size(workload):
+    values = [
+        _mean_f1(s, workload)
+        for s in ("yolov3-320", "yolov3-416", "yolov3-512", "yolov3-608")
+    ]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_tiny_matches_section3(workload):
+    """YOLOv3-tiny averages F1 ~ 0.3 with few frames above 0.7 (§III-B)."""
+    det = SimulatedYOLOv3("yolov3-tiny-320", seed=3)
+    scores = np.asarray(
+        [f1_score(det.detect(ann).detections, ann) for ann in workload]
+    )
+    assert scores.mean() == pytest.approx(0.3, abs=0.08)
+    assert np.mean(scores > 0.7) < 0.2
+
+
+def test_ground_truth_proxy_is_near_perfect(workload):
+    assert _mean_f1("yolov3-704", workload) > 0.95
+
+
+def test_latency_span_matches_fig1(workload):
+    det_small = SimulatedYOLOv3(320, seed=3)
+    det_large = SimulatedYOLOv3(608, seed=3)
+    small = np.mean([det_small.detect(a).latency for a in workload[:100]])
+    large = np.mean([det_large.detect(a).latency for a in workload[:100]])
+    assert 0.20 < small < 0.27
+    assert 0.45 < large < 0.56

@@ -1,0 +1,151 @@
+"""Unit tests for the simulated YOLOv3 detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.classes import confusable_with
+from repro.detection.detector import Detection, SimulatedYOLOv3
+from repro.geometry import Box
+from repro.video.scene import FrameAnnotation, GroundTruthObject
+
+
+def annotation(num_objects=4, difficulty=0.5, frame_index=0):
+    objects = tuple(
+        GroundTruthObject(
+            object_id=i,
+            label="car",
+            box=Box(20.0 + 60.0 * i, 40.0, 40.0, 20.0),
+        )
+        for i in range(num_objects)
+    )
+    return FrameAnnotation(
+        frame_index=frame_index, objects=objects, difficulty=difficulty
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = SimulatedYOLOv3(512, seed=5).detect(annotation())
+        b = SimulatedYOLOv3(512, seed=5).detect(annotation())
+        assert a.detections == b.detections
+        assert a.latency == b.latency
+
+    def test_call_order_independent(self):
+        """Detecting frames in a different order gives identical results."""
+        det_a = SimulatedYOLOv3(512, seed=5)
+        det_b = SimulatedYOLOv3(512, seed=5)
+        ann0, ann1 = annotation(frame_index=0), annotation(frame_index=1)
+        first = (det_a.detect(ann0), det_a.detect(ann1))
+        second = tuple(reversed((det_b.detect(ann1), det_b.detect(ann0))))
+        assert first[0].detections == second[0].detections
+        assert first[1].detections == second[1].detections
+
+    def test_different_seed_differs(self):
+        a = SimulatedYOLOv3(320, seed=5).detect(annotation(num_objects=8))
+        b = SimulatedYOLOv3(320, seed=6).detect(annotation(num_objects=8))
+        assert a.detections != b.detections
+
+
+class TestSwitching:
+    def test_switch_profile(self):
+        det = SimulatedYOLOv3(512, seed=0)
+        det.set_profile(320)
+        assert det.input_size == 320
+        assert det.switch_count == 1
+
+    def test_switch_to_same_not_counted(self):
+        det = SimulatedYOLOv3(512, seed=0)
+        det.set_profile("yolov3-512")
+        assert det.switch_count == 0
+
+    def test_latency_tracks_profile(self):
+        det = SimulatedYOLOv3(608, seed=0)
+        slow = det.detect(annotation()).latency
+        det.set_profile(320)
+        fast = det.detect(annotation()).latency
+        assert fast < slow
+
+
+class TestErrorBehaviour:
+    def test_difficulty_increases_errors(self):
+        """Hard frames must lose clearly more objects than easy frames."""
+        det = SimulatedYOLOv3(320, seed=1)
+        easy_counts, hard_counts = [], []
+        for frame in range(200):
+            easy = det.detect(annotation(num_objects=6, difficulty=0.05, frame_index=frame))
+            hard = det.detect(annotation(num_objects=6, difficulty=0.95, frame_index=frame))
+            easy_counts.append(len(easy.detections))
+            hard_counts.append(len(hard.detections))
+        # On easy frames nearly everything is found; hard frames miss a lot
+        # (false positives partially mask this, so compare with margin).
+        assert np.mean(easy_counts) > np.mean(hard_counts) + 1.0
+
+    def test_labels_only_plausibly_confused(self):
+        """True-positive-ish boxes carry the GT label or a confusable one.
+
+        Random false positives can overlap ground truth by chance, so this
+        asserts the overwhelming majority, not every single detection.
+        """
+        from repro.geometry import iou
+
+        det = SimulatedYOLOv3("yolov3-tiny-320", seed=2)
+        allowed = {"car"} | set(confusable_with("car"))
+        plausible = 0
+        total = 0
+        gt_boxes = [o.box for o in annotation(num_objects=5).objects]
+        for frame in range(80):
+            result = det.detect(annotation(num_objects=5, frame_index=frame))
+            for d in result.detections:
+                if max(iou(d.box, g) for g in gt_boxes) > 0.45:
+                    total += 1
+                    plausible += d.label in allowed
+        assert total > 30
+        assert plausible / total > 0.9
+
+    def test_boxes_clipped_to_frame(self):
+        det = SimulatedYOLOv3(320, seed=3, frame_width=320, frame_height=180)
+        ann = FrameAnnotation(
+            frame_index=0,
+            objects=(
+                GroundTruthObject(0, "car", Box(300.0, 160.0, 30.0, 25.0)),
+            ),
+            difficulty=0.5,
+        )
+        for frame in range(30):
+            result = det.detect(
+                FrameAnnotation(frame, ann.objects, difficulty=0.5)
+            )
+            for d in result.detections:
+                assert d.box.right <= 320.0 + 1e-9
+                assert d.box.bottom <= 180.0 + 1e-9
+                assert d.box.left >= 0.0
+
+    def test_empty_annotation_yields_only_false_positives(self):
+        det = SimulatedYOLOv3(608, seed=4)
+        empty = FrameAnnotation(frame_index=0, objects=(), difficulty=0.2)
+        counts = [
+            len(det.detect(FrameAnnotation(f, (), difficulty=0.2)).detections)
+            for f in range(100)
+        ]
+        # 608 on easy frames: false positives are rare but possible.
+        assert np.mean(counts) < 0.3
+
+    def test_latency_jitter_bounded(self):
+        det = SimulatedYOLOv3(512, seed=5)
+        latencies = [
+            det.detect(annotation(frame_index=f)).latency for f in range(100)
+        ]
+        expected = det.profile.expected_latency(4)
+        assert min(latencies) > expected * 0.8
+        assert max(latencies) < expected * 1.25
+
+
+class TestDetectionType:
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            Detection(label="car", box=Box(0, 0, 5, 5), confidence=1.5)
+
+    def test_result_boxes_helper(self):
+        det = SimulatedYOLOv3(608, seed=0)
+        result = det.detect(annotation())
+        assert len(result.boxes) == len(result.detections)

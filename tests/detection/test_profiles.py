@@ -1,0 +1,133 @@
+"""Unit tests for detector profiles."""
+
+import pytest
+
+from repro.detection.profiles import (
+    DETECTOR_PROFILES,
+    FRAME_SIZES,
+    DetectorProfile,
+    get_profile,
+)
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert get_profile("yolov3-512").input_size == 512
+
+    def test_lookup_by_size(self):
+        assert get_profile(608).name == "yolov3-608"
+
+    def test_size_lookup_skips_tiny(self):
+        # 320 resolves to the full model, not tiny.
+        assert get_profile(320).name == "yolov3-320"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_profile("yolov9000")
+
+    def test_unknown_size(self):
+        with pytest.raises(KeyError):
+            get_profile(999)
+
+    def test_frame_sizes_descending(self):
+        assert FRAME_SIZES == (608, 512, 416, 320)
+        assert all(str(s) in get_profile(s).name for s in FRAME_SIZES)
+
+
+class TestLatencyModel:
+    def test_latency_ladder_matches_paper(self):
+        """Fig. 1: 230 ms at 320 rising to 500 ms at 608; tiny ~60 ms."""
+        assert get_profile(320).base_latency == pytest.approx(0.230)
+        assert get_profile(608).base_latency == pytest.approx(0.500)
+        assert get_profile("yolov3-tiny-320").base_latency < 0.065
+        latencies = [get_profile(s).base_latency for s in (320, 416, 512, 608)]
+        assert latencies == sorted(latencies)
+
+    def test_expected_latency_grows_with_objects(self):
+        profile = get_profile(512)
+        assert profile.expected_latency(10) > profile.expected_latency(0)
+
+
+class TestErrorModel:
+    def test_accuracy_knobs_monotone_in_size(self):
+        """Bigger inputs are strictly better on every error axis."""
+        for field in ("base_miss", "confusion_prob", "false_positive_rate",
+                      "center_sigma", "small_threshold"):
+            values = [getattr(get_profile(s), field) for s in (608, 512, 416, 320)]
+            assert values == sorted(values), field
+
+    def test_robustness_monotone_in_size(self):
+        values = [get_profile(s).robustness for s in (320, 416, 512, 608)]
+        assert values == sorted(values)
+
+    def test_miss_probability_small_objects(self):
+        profile = get_profile(320)
+        large = profile.miss_probability(40.0, 30.0)
+        small = profile.miss_probability(8.0, 6.0)
+        assert small > large
+        assert small <= 1.0
+
+    def test_miss_probability_ramp_continuous(self):
+        profile = get_profile(512)
+        at_threshold = profile.miss_probability(
+            profile.small_threshold, profile.small_threshold
+        )
+        just_below = profile.miss_probability(
+            profile.small_threshold - 0.01, profile.small_threshold
+        )
+        assert just_below == pytest.approx(at_threshold, abs=0.01)
+
+    def test_hardness_gate(self):
+        profile = get_profile(512)
+        easy = profile.hardness(0.0)
+        hard = profile.hardness(1.0)
+        assert easy < 1.0 < hard
+        assert easy == pytest.approx(profile.hardness_floor, abs=0.05)
+        # The sigmoid only asymptotes to the ceiling; d=1 gets close.
+        assert hard == pytest.approx(profile.hardness_ceiling, abs=0.3)
+
+    def test_hardness_monotone(self):
+        profile = get_profile(416)
+        values = [profile.hardness(d / 10) for d in range(11)]
+        assert values == sorted(values)
+
+    def test_hardness_rejects_bad_difficulty(self):
+        with pytest.raises(ValueError):
+            get_profile(512).hardness(1.5)
+
+    def test_bigger_input_survives_harder_frames(self):
+        """At a mid difficulty, 608 must be in its easy regime while tiny fails."""
+        mid = 0.6
+        assert get_profile(608).hardness(mid) < 1.0
+        assert get_profile("yolov3-tiny-320").hardness(mid) > 2.0
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="x",
+            input_size=100,
+            base_miss=0.1,
+            small_extra_miss=0.1,
+            small_threshold=10.0,
+            confusion_prob=0.1,
+            center_sigma=0.05,
+            size_sigma=0.05,
+            false_positive_rate=0.1,
+            base_latency=0.1,
+            per_object_latency=0.001,
+        )
+        base.update(overrides)
+        return base
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError):
+            DetectorProfile(**self._kwargs(base_miss=1.5))
+
+    def test_latency_positive(self):
+        with pytest.raises(ValueError):
+            DetectorProfile(**self._kwargs(base_latency=0.0))
+
+    def test_fp_rate_nonnegative(self):
+        with pytest.raises(ValueError):
+            DetectorProfile(**self._kwargs(false_positive_rate=-0.1))

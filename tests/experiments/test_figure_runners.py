@@ -1,0 +1,139 @@
+"""Smoke + shape tests for the per-figure experiment runners (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_detector_profile, fig2_tracking_decay
+from repro.experiments import fig5_fig9_traces, fig7_fig8_adaptation
+from repro.experiments import marlin_tuning, table2_latency, table3_energy
+from repro.experiments.fig6_overall import run as run_fig6
+from repro.experiments.workloads import quick_suite
+from repro.video.dataset import make_clip
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_detector_profile.run(num_frames=200, seed=5)
+
+    def test_four_settings(self, result):
+        assert [r.setting for r in result.rows] == [
+            "yolov3-320", "yolov3-416", "yolov3-512", "yolov3-608",
+        ]
+
+    def test_monotone_tradeoff(self, result):
+        latencies = [r.mean_latency_ms for r in result.rows]
+        f1s = [r.mean_f1 for r in result.rows]
+        assert latencies == sorted(latencies)
+        assert f1s == sorted(f1s)
+
+    def test_report_renders(self, result):
+        assert "Fig. 1" in result.report()
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_tracking_decay.run(horizon=25, repeats=3, seed=2)
+
+    def test_fast_decays_faster(self, result):
+        assert result.fast_series[-1] < result.slow_series[-1]
+
+    def test_initial_accuracy_high(self, result):
+        assert result.fast_series[0] > 0.7
+        assert result.slow_series[0] > 0.7
+
+    def test_crossing_ordered(self, result):
+        fast = result.fast_crossing
+        slow = result.slow_crossing
+        if fast is not None and slow is not None:
+            assert fast < slow
+        elif slow is not None:
+            pytest.fail("slow video crossed 0.5 but fast did not")
+
+    def test_report_renders(self, result):
+        assert "Fig. 2" in result.report()
+
+
+class TestTable2:
+    def test_rows_and_report(self):
+        result = table2_latency.run(num_frames=90)
+        assert len(result.rows) == 4
+        low, high = result.observed_detection_ms
+        assert 150 < low < high < 700
+        assert "Table II" in result.report()
+
+
+class TestFig6Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(
+            suite=quick_suite(frames=90),
+            methods=("adavp", "mpdt-512", "marlin-512", "no-tracking-512"),
+        )
+
+    def test_accuracies_in_range(self, result):
+        for method_result in result.results.values():
+            assert 0.0 <= method_result.accuracy <= 1.0
+
+    def test_mpdt_beats_no_tracking(self, result):
+        assert result.accuracy("mpdt-512") > result.accuracy("no-tracking-512")
+
+    def test_report_renders(self, result):
+        assert "Fig. 6" in result.report()
+
+
+class TestFig7Fig8:
+    def test_behaviour_collected(self):
+        behaviour = fig7_fig8_adaptation.run(suite=quick_suite(frames=90))
+        fractions = behaviour.usage_fractions()
+        assert fractions
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        cdf = behaviour.cdf()
+        values = [v for _, v in cdf]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert values == sorted(values)
+        assert "Fig. 7" in behaviour.report()
+
+
+class TestTraces:
+    def test_fig5(self):
+        clip = make_clip("intersection", seed=91, num_frames=90)
+        trace = fig5_fig9_traces.run_fig5(clip)
+        assert len(trace.series_a) == 90
+        assert len(trace.series_b) == 90
+        assert "Fig. 5" in trace.report()
+
+    def test_fig9(self):
+        from repro.experiments.workloads import make_phase_clip
+
+        clip = make_phase_clip("city_street", 92, 120, speed_scale=2.5)
+        trace = fig5_fig9_traces.run_fig9(clip)
+        assert np.all(trace.series_a >= 0.0)
+        assert "Fig. 9" in trace.report()
+
+
+class TestTable3Small:
+    def test_energy_shape(self):
+        result = table3_energy.run(
+            suite=quick_suite(frames=90),
+            methods=("adavp", "mpdt-512", "marlin-512", "continuous-320"),
+        )
+        adavp = result.columns["adavp"]
+        continuous = result.columns["continuous-320"]
+        # Per-frame YOLO burns far more energy than the real-time systems.
+        assert continuous.energy.total_wh > 3.0 * adavp.energy.total_wh
+        assert continuous.latency_multiplier > 5.0
+        # Real-time up to the trailing detection overshoot (large on a 3 s clip).
+        assert 0.9 < adavp.latency_multiplier < 1.4
+
+
+class TestMarlinTuning:
+    def test_sweep_finds_best(self):
+        suite = quick_suite(frames=90)
+        result = marlin_tuning.run(
+            setting=512, candidates=(0.8, 2.0), suite=suite
+        )
+        assert set(result.accuracies) == {0.8, 2.0}
+        assert result.best_threshold in (0.8, 2.0)
+        assert "MARLIN" in result.report()

@@ -1,0 +1,43 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table, relative_gain
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            "Title", ("name", "value"), [("a", 0.5), ("bbbb", 1.0)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "0.500" in text
+        assert "bbbb" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ("x",), [])
+        assert "x" in text
+
+    def test_non_float_cells_unformatted(self):
+        text = format_table("T", ("n", "v"), [(3, "ok")])
+        assert "3" in text and "ok" in text
+
+
+class TestFormatSeries:
+    def test_one_point_per_line(self):
+        text = format_series("S", [0, 10], [0.1, 0.25], "frame", "F1")
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.250" in lines[-1]
+
+
+class TestRelativeGain:
+    def test_basic(self):
+        assert relative_gain(0.6, 0.5) == pytest.approx(0.2)
+        assert relative_gain(0.4, 0.5) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_gain(1.0, 0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the method registry and suite evaluation."""
+
+import pytest
+
+from repro.baselines.continuous import ContinuousDetectionPipeline
+from repro.baselines.marlin import MarlinPipeline
+from repro.baselines.no_tracking import NoTrackingPipeline
+from repro.core.adavp import AdaVP
+from repro.core.mpdt import MPDTPipeline
+from repro.experiments.runners import (
+    METHODS,
+    evaluate_run,
+    make_method,
+    run_method_on_clip,
+    run_method_on_suite,
+)
+from repro.experiments.workloads import quick_suite
+
+
+class TestRegistry:
+    def test_all_registered_methods_instantiate(self):
+        for name in METHODS:
+            method = make_method(name)
+            assert method is not None
+
+    def test_method_types(self):
+        assert isinstance(make_method("adavp"), AdaVP)
+        assert isinstance(make_method("mpdt-512"), MPDTPipeline)
+        assert isinstance(make_method("marlin-320"), MarlinPipeline)
+        assert isinstance(make_method("no-tracking-608"), NoTrackingPipeline)
+        assert isinstance(
+            make_method("continuous-tiny-320"), ContinuousDetectionPipeline
+        )
+
+    def test_continuous_tiny_resolves_profile(self):
+        method = make_method("continuous-tiny-320")
+        assert method.setting == "yolov3-tiny-320"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            make_method("quantum-yolo")
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return quick_suite(frames=60)
+
+    def test_run_method_on_clip(self, suite):
+        run = run_method_on_clip(make_method("mpdt-512"), suite.clips[0])
+        assert run.num_frames == 60
+
+    def test_run_method_on_suite(self, suite):
+        result = run_method_on_suite("mpdt-512", suite)
+        assert len(result.per_video_accuracy) == len(suite)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.activity.duration > 0
+
+    def test_keep_runs(self, suite):
+        result = run_method_on_suite("no-tracking-512", suite, keep_runs=True)
+        assert len(result.runs) == len(suite)
+
+    def test_energy_available(self, suite):
+        result = run_method_on_suite("no-tracking-512", suite)
+        breakdown = result.energy()
+        assert breakdown.total_wh > 0
+
+    def test_evaluate_run_thresholds(self, suite):
+        clip = suite.clips[0]
+        run = run_method_on_clip(make_method("mpdt-608"), clip)
+        acc_loose, f1 = evaluate_run(run, clip, alpha=0.5)
+        acc_strict, _ = evaluate_run(run, clip, alpha=0.9)
+        assert acc_strict <= acc_loose
+        assert len(f1) == clip.num_frames

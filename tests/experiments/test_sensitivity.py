@@ -1,0 +1,36 @@
+"""Tests for the FPS / resolution sensitivity studies."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_fps_sweep, run_resolution_sweep
+
+
+class TestFpsSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fps_sweep(seconds=5.0, methods=("mpdt-512",))
+
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 2
+
+    def test_sixty_fps_runs_same_cycle_count(self, result):
+        """Detection latency is unchanged, so ~the same number of cycles
+        covers the same wall-clock content at 60 fps."""
+        cycles_30 = result.cycles("30fps", "mpdt-512")
+        cycles_60 = result.cycles("60fps", "mpdt-512")
+        assert abs(cycles_60 - cycles_30) <= 2
+
+    def test_accuracy_valid(self, result):
+        for row in result.rows:
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_report(self, result):
+        assert "FPS sensitivity" in result.report()
+
+
+class TestResolutionSweep:
+    def test_runs_at_other_resolutions(self):
+        result = run_resolution_sweep(num_frames=90, scales=(1.0, 1.25))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.0 <= row[2] <= 1.0

@@ -1,0 +1,48 @@
+"""Tests for the Fig. 10 / Fig. 11 experiment-runner module."""
+
+import pytest
+
+from repro.experiments.fig10_fig11_thresholds import run_fig10, run_fig11
+from repro.experiments.workloads import quick_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return quick_suite(seed=404, frames=90)
+
+
+class TestFig10Runner:
+    @pytest.fixture(scope="class")
+    def result(self, suite):
+        return run_fig10(suite=suite)
+
+    def test_both_settings_evaluated(self, result):
+        assert set(result.default_accuracy) == set(result.strict_accuracy)
+        assert "adavp" in result.default_accuracy
+
+    def test_strict_never_higher(self, result):
+        for method in result.default_accuracy:
+            assert (
+                result.strict_accuracy[method]
+                <= result.default_accuracy[method] + 1e-9
+            )
+
+    def test_gain_range_computable(self, result):
+        low, high = result.gain_range(result.default_accuracy)
+        assert low <= high
+
+    def test_report(self, result):
+        text = result.report()
+        assert "alpha=0.7" in text
+        assert "alpha=0.75" in text
+
+
+class TestFig11Runner:
+    def test_iou_sweep(self, suite):
+        result = run_fig11(suite=suite)
+        for method in result.default_accuracy:
+            assert (
+                result.strict_accuracy[method]
+                <= result.default_accuracy[method] + 1e-9
+            )
+        assert "IoU" in result.report()

@@ -1,0 +1,46 @@
+"""Tests for the threshold-training CLI module (without full training)."""
+
+from repro.core.adaptation import VelocityThresholds
+from repro.experiments.train_adaptation import enlarged_training_suite, main
+
+
+class TestEnlargedSuite:
+    def test_composition(self):
+        suite = enlarged_training_suite()
+        # Two 16-clip training suites plus two extra phased clips.
+        assert len(suite) == 34
+        names = [clip.name for clip in suite]
+        assert len(names) == len(set(names))
+
+
+class TestMain:
+    def test_quick_path_prints_table(self, monkeypatch, capsys):
+        """`--quick` trains on the small corpus; training itself is stubbed
+        so this tests the wiring, not the 5-minute computation."""
+        calls = {}
+
+        def fake_collect(clips, *args, **kwargs):
+            calls["clips"] = len(list(clips))
+            return ["records"]
+
+        def fake_train(records):
+            calls["records"] = records
+            return {
+                name: VelocityThresholds(0.5, 1.5, 2.5)
+                for name in (
+                    "yolov3-608", "yolov3-512", "yolov3-416", "yolov3-320",
+                )
+            }
+
+        monkeypatch.setattr(
+            "repro.experiments.train_adaptation.collect_training_data",
+            fake_collect,
+        )
+        monkeypatch.setattr(
+            "repro.experiments.train_adaptation.train_threshold_table", fake_train
+        )
+        main(["--quick"])
+        out = capsys.readouterr().out
+        assert calls["clips"] == 16
+        assert 'VelocityThresholds(v1=0.500, v2=1.500, v3=2.500)' in out
+        assert "DEFAULT_THRESHOLD_TABLE" in out

@@ -1,0 +1,66 @@
+"""Unit tests for workload suites."""
+
+import pytest
+
+from repro.experiments.workloads import (
+    evaluation_suite,
+    make_multiphase_clip,
+    make_phase_clip,
+    quick_suite,
+    training_suite,
+)
+
+
+class TestSuites:
+    def test_training_suite_composition(self):
+        suite = training_suite(frames=60)
+        assert len(suite) == 16  # 14 families + 2 phased
+        assert suite.total_frames == 16 * 60
+
+    def test_evaluation_suite_composition(self):
+        suite = evaluation_suite(frames=60)
+        assert len(suite) == 18
+        phased = [c for c in suite if "phased" in c.name]
+        assert len(phased) == 5
+
+    def test_train_eval_disjoint(self):
+        train_names = {c.name for c in training_suite(frames=30)}
+        eval_names = {c.name for c in evaluation_suite(frames=30)}
+        assert not (train_names & eval_names)
+
+    def test_quick_suite_small(self):
+        suite = quick_suite(frames=30)
+        assert len(suite) == 3
+        assert suite.total_frames == 90
+
+    def test_suites_deterministic(self):
+        a = training_suite(frames=30)
+        b = training_suite(frames=30)
+        for clip_a, clip_b in zip(a, b):
+            assert clip_a.name == clip_b.name
+            assert len(clip_a.scene.objects) == len(clip_b.scene.objects)
+
+
+class TestPhaseClips:
+    def test_phase_clip_speeds_change(self):
+        clip = make_phase_clip("intersection", 5, 200, calm_until=0.5,
+                               speed_scale=3.0)
+        phases = clip.config.phases
+        assert len(phases) == 2
+        assert phases[1].start_frame == 100
+        assert phases[1].speed_scale == 3.0
+
+    def test_phase_clip_validation(self):
+        with pytest.raises(ValueError):
+            make_phase_clip("intersection", 5, 100, calm_until=1.5)
+
+    def test_multiphase_clip(self):
+        clip = make_multiphase_clip(
+            "boat", 5, 300, [(0.0, 2.0, 1.0), (0.5, 0.5, 1.0)]
+        )
+        assert clip.config.phase_at(0).speed_scale == 2.0
+        assert clip.config.phase_at(299).speed_scale == 0.5
+
+    def test_multiphase_requires_phases(self):
+        with pytest.raises(ValueError):
+            make_multiphase_clip("boat", 5, 100, [])

@@ -1,0 +1,76 @@
+"""Unit tests for IoU (Eq. 2) and the vectorised IoU matrix."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, iou, iou_matrix
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = Box(3, 4, 10, 12)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(Box(0, 0, 5, 5), Box(10, 10, 5, 5)) == 0.0
+
+    def test_half_overlap(self):
+        # Two unit-height boxes overlapping half their width.
+        a = Box(0, 0, 2, 1)
+        b = Box(1, 0, 2, 1)
+        # intersection = 1, union = 3.
+        assert iou(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_contained_box(self):
+        outer = Box(0, 0, 10, 10)
+        inner = Box(2, 2, 5, 5)
+        assert iou(outer, inner) == pytest.approx(25.0 / 100.0)
+
+    def test_zero_area_operand(self):
+        assert iou(Box(0, 0, 0, 10), Box(0, 0, 5, 5)) == 0.0
+        assert iou(Box(0, 0, 5, 5), Box(2, 2, 0, 0)) == 0.0
+
+    def test_touching_edges_is_zero(self):
+        assert iou(Box(0, 0, 5, 5), Box(5, 0, 5, 5)) == 0.0
+
+    def test_shift_sensitivity_monotone(self):
+        """IoU decreases monotonically as one box slides away."""
+        base = Box(0, 0, 20, 10)
+        values = [iou(base, base.shifted(dx, 0.0)) for dx in (0, 2, 5, 10, 19, 25)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == 0.0
+
+
+class TestIoUMatrix:
+    def test_matches_scalar_iou(self):
+        rng = np.random.default_rng(7)
+        boxes_a = [
+            Box(float(x), float(y), float(w), float(h))
+            for x, y, w, h in rng.uniform(1, 30, size=(6, 4))
+        ]
+        boxes_b = [
+            Box(float(x), float(y), float(w), float(h))
+            for x, y, w, h in rng.uniform(1, 30, size=(4, 4))
+        ]
+        matrix = iou_matrix(boxes_a, boxes_b)
+        assert matrix.shape == (6, 4)
+        for i, a in enumerate(boxes_a):
+            for j, b in enumerate(boxes_b):
+                assert matrix[i, j] == pytest.approx(iou(a, b), abs=1e-12)
+
+    def test_empty_inputs(self):
+        assert iou_matrix([], [Box(0, 0, 1, 1)]).shape == (0, 1)
+        assert iou_matrix([Box(0, 0, 1, 1)], []).shape == (1, 0)
+        assert iou_matrix([], []).shape == (0, 0)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        boxes = [
+            Box(float(x), float(y), float(w), float(h))
+            for x, y, w, h in rng.uniform(0, 50, size=(10, 4))
+        ]
+        matrix = iou_matrix(boxes, boxes)
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 1.0 + 1e-12)
+        assert np.allclose(np.diag(matrix), 1.0)

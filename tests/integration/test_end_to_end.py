@@ -1,0 +1,88 @@
+"""Integration tests: full methods on a small suite, paper-shape assertions.
+
+These run every method end to end on a compact workload and check the
+qualitative relations the paper establishes.  Quantitative reproduction at
+full scale lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.runners import run_method_on_suite
+from repro.experiments.workloads import quick_suite
+from repro.video.dataset import VideoSuite, make_clip
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return quick_suite(frames=120)
+
+
+@pytest.fixture(scope="module")
+def results(suite):
+    methods = (
+        "adavp",
+        "mpdt-320",
+        "mpdt-512",
+        "mpdt-608",
+        "marlin-512",
+        "no-tracking-512",
+        "continuous-tiny-320",
+    )
+    return {name: run_method_on_suite(name, suite) for name in methods}
+
+
+class TestPaperShapes:
+    def test_tracking_helps(self, results):
+        """MPDT beats detection-only at the same setting (Fig. 6)."""
+        assert results["mpdt-512"].accuracy > results["no-tracking-512"].accuracy
+
+    def test_parallel_beats_sequential(self, results):
+        """MPDT beats MARLIN at the same setting (Fig. 6 / §VI-C)."""
+        assert results["mpdt-512"].accuracy > results["marlin-512"].accuracy
+
+    def test_mpdt_320_worst_fixed(self, results):
+        """The smallest input is the weakest fixed setting overall."""
+        assert results["mpdt-320"].accuracy < results["mpdt-512"].accuracy
+        assert results["mpdt-320"].accuracy < results["mpdt-608"].accuracy
+
+    def test_adavp_competitive_with_best_fixed(self, results):
+        """AdaVP must at least match the best fixed setting (small margin
+        allowed on this tiny suite; the full benchmark asserts superiority)."""
+        best_fixed = max(
+            results[m].accuracy for m in ("mpdt-320", "mpdt-512", "mpdt-608")
+        )
+        assert results["adavp"].accuracy >= 0.93 * best_fixed
+
+    def test_tiny_is_inaccurate(self, results):
+        """YOLOv3-tiny's accuracy collapses (paper §III-B: F1 ~ 0.3)."""
+        assert results["continuous-tiny-320"].accuracy < 0.35
+
+    def test_energy_ordering(self, results):
+        """MARLIN spends less than MPDT; both spend far less than tiny
+        running 1.8x realtime per frame... which still costs more total."""
+        marlin = results["marlin-512"].energy().total_wh
+        mpdt = results["mpdt-512"].energy().total_wh
+        assert marlin < mpdt
+
+
+class TestCrossSeedStability:
+    def test_ordering_stable_across_suite_seed(self):
+        """MPDT > no-tracking must hold on a different random suite."""
+        suite = VideoSuite(
+            name="alt",
+            clips=[
+                make_clip("city_street", seed=901, num_frames=120),
+                make_clip("car_downtown", seed=902, num_frames=120),
+            ],
+        )
+        mpdt = run_method_on_suite("mpdt-512", suite)
+        no_track = run_method_on_suite("no-tracking-512", suite)
+        assert mpdt.accuracy > no_track.accuracy
+
+
+class TestDeterminism:
+    def test_suite_run_reproducible(self, suite):
+        a = run_method_on_suite("adavp", suite)
+        b = run_method_on_suite("adavp", suite)
+        assert a.per_video_accuracy == b.per_video_accuracy
+        assert a.energy().total_wh == pytest.approx(b.energy().total_wh)

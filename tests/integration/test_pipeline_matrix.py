@@ -1,0 +1,78 @@
+"""Invariant checks for every method across a grid of clips and seeds.
+
+These complement the per-method unit tests: the same structural invariants
+must hold for any (method, scenario, seed) combination.
+"""
+
+import pytest
+
+from repro.experiments.runners import evaluate_run, make_method, run_method_on_clip
+from repro.runtime.simulator import VALID_SOURCES
+from repro.video.dataset import make_clip
+
+METHODS = (
+    "adavp",
+    "mpdt-320",
+    "mpdt-608",
+    "marlin-416",
+    "no-tracking-416",
+    "continuous-tiny-320",
+)
+CLIPS = (("boat", 61), ("racetrack", 62))
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    runs = {}
+    for scenario, seed in CLIPS:
+        clip = make_clip(scenario, seed=seed, num_frames=90)
+        for method in METHODS:
+            runs[(scenario, method)] = (
+                clip,
+                run_method_on_clip(make_method(method), clip),
+            )
+    return runs
+
+
+class TestInvariants:
+    def test_every_frame_served_in_order(self, matrix):
+        for (scenario, method), (clip, run) in matrix.items():
+            assert len(run.results) == clip.num_frames, (scenario, method)
+            assert [r.frame_index for r in run.results] == list(
+                range(clip.num_frames)
+            ), (scenario, method)
+
+    def test_sources_valid(self, matrix):
+        for (scenario, method), (_, run) in matrix.items():
+            for result in run.results:
+                assert result.source in VALID_SOURCES, (scenario, method)
+
+    def test_produced_at_nonnegative_and_bounded(self, matrix):
+        for (scenario, method), (_, run) in matrix.items():
+            for result in run.results:
+                assert result.produced_at >= 0.0
+                assert result.produced_at <= run.activity.duration + 1e-6, (
+                    scenario, method,
+                )
+
+    def test_cycles_consistent(self, matrix):
+        for (scenario, method), (_, run) in matrix.items():
+            frames = [c.detect_frame for c in run.cycles]
+            assert frames == sorted(frames), (scenario, method)
+            for cycle in run.cycles:
+                assert cycle.detect_end > cycle.detect_start
+                assert cycle.tracked <= max(cycle.buffered_frames, 0) + 1
+
+    def test_activity_accounting(self, matrix):
+        for (scenario, method), (clip, run) in matrix.items():
+            gpu = sum(run.activity.gpu_busy.values())
+            detect_time = sum(c.detection_latency for c in run.cycles)
+            assert gpu == pytest.approx(detect_time), (scenario, method)
+            assert run.activity.duration > 0
+
+    def test_accuracy_in_unit_interval(self, matrix):
+        for (scenario, method), (clip, run) in matrix.items():
+            accuracy, f1 = evaluate_run(run, clip)
+            assert 0.0 <= accuracy <= 1.0
+            assert f1.min() >= 0.0
+            assert f1.max() <= 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for video- and suite-level accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import Detection
+from repro.geometry import Box
+from repro.metrics.accuracy import frame_f1_series, suite_accuracy, video_accuracy
+from repro.video.scene import FrameAnnotation, GroundTruthObject
+
+
+def annotations(n):
+    box = Box(10, 10, 30, 20)
+    return [
+        FrameAnnotation(i, (GroundTruthObject(0, "car", box),)) for i in range(n)
+    ]
+
+
+PERFECT = (Detection("car", Box(10, 10, 30, 20), 0.9),)
+WRONG = (Detection("dog", Box(100, 100, 10, 10), 0.9),)
+
+
+class TestFrameF1Series:
+    def test_list_results(self):
+        series = frame_f1_series([PERFECT, WRONG, PERFECT], annotations(3))
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == 0.0
+        assert series[2] == pytest.approx(1.0)
+
+    def test_mapping_results_missing_frames_score_zero(self):
+        series = frame_f1_series({0: PERFECT, 2: PERFECT}, annotations(3))
+        assert series[1] == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            frame_f1_series([PERFECT], annotations(3))
+
+    def test_iou_threshold_passthrough(self):
+        near = (Detection("car", Box(13, 12, 30, 20), 0.9),)
+        loose = frame_f1_series([near], annotations(1), iou_threshold=0.5)
+        strict = frame_f1_series([near], annotations(1), iou_threshold=0.9)
+        assert loose[0] == pytest.approx(1.0)
+        assert strict[0] == 0.0
+
+
+class TestVideoAccuracy:
+    def test_fraction_above_alpha(self):
+        series = np.array([0.9, 0.8, 0.6, 0.71, 0.70])
+        # Strictly above 0.7: 0.9, 0.8, 0.71 -> 3/5.
+        assert video_accuracy(series, alpha=0.7) == pytest.approx(0.6)
+
+    def test_empty_series(self):
+        assert video_accuracy(np.array([])) == 0.0
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            video_accuracy(np.array([0.5]), alpha=1.5)
+
+    def test_stricter_alpha_not_higher(self):
+        rng = np.random.default_rng(0)
+        series = rng.random(100)
+        assert video_accuracy(series, 0.75) <= video_accuracy(series, 0.7)
+
+
+class TestSuiteAccuracy:
+    def test_mean_of_videos(self):
+        assert suite_accuracy([0.2, 0.4, 0.6]) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            suite_accuracy([])

@@ -1,0 +1,109 @@
+"""Unit tests for the TX2 energy model."""
+
+import pytest
+
+from repro.metrics.energy import (
+    ActivityLog,
+    PowerModel,
+    TX2_POWER_MODEL,
+)
+
+
+def simple_model():
+    return PowerModel(
+        gpu_active={"yolov3-512": 4.0},
+        cpu_active={"tracking": 2.0, "overlay": 1.0,
+                    "feature_extraction": 2.0, "detect_assist": 0.5},
+        gpu_idle=0.0,
+        cpu_idle=0.0,
+        ddr_fraction=0.25,
+        soc_fraction=0.08,
+    )
+
+
+class TestActivityLog:
+    def test_accumulation(self):
+        log = ActivityLog()
+        log.add_gpu("yolov3-512", 10.0)
+        log.add_gpu("yolov3-512", 5.0)
+        log.add_cpu("tracking", 2.0)
+        assert log.gpu_busy["yolov3-512"] == 15.0
+        assert log.cpu_busy["tracking"] == 2.0
+
+    def test_unknown_cpu_activity_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityLog().add_cpu("mining", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityLog().add_gpu("x", -1.0)
+
+    def test_merge(self):
+        a = ActivityLog(duration=10.0)
+        a.add_gpu("yolov3-512", 5.0)
+        b = ActivityLog(duration=20.0)
+        b.add_gpu("yolov3-512", 7.0)
+        b.add_cpu("overlay", 3.0)
+        a.merge(b)
+        assert a.duration == 30.0
+        assert a.gpu_busy["yolov3-512"] == 12.0
+        assert a.cpu_busy["overlay"] == 3.0
+
+
+class TestBreakdown:
+    def test_energy_integration(self):
+        log = ActivityLog(duration=3600.0)  # one hour
+        log.add_gpu("yolov3-512", 1800.0)  # half busy at 4 W -> 2 Wh
+        log.add_cpu("tracking", 3600.0)  # 2 W for an hour -> 2 Wh
+        breakdown = simple_model().breakdown(log)
+        assert breakdown.gpu_wh == pytest.approx(2.0)
+        assert breakdown.cpu_wh == pytest.approx(2.0)
+        assert breakdown.ddr_wh == pytest.approx(0.25 * 4.0)
+        assert breakdown.soc_wh == pytest.approx(0.08 * 4.0)
+        assert breakdown.total_wh == pytest.approx(2 + 2 + 1.0 + 0.32)
+
+    def test_idle_power_counted(self):
+        model = PowerModel(
+            gpu_active={}, cpu_active={}, gpu_idle=1.0, cpu_idle=1.0
+        )
+        log = ActivityLog(duration=3600.0)
+        breakdown = model.breakdown(log)
+        assert breakdown.gpu_wh == pytest.approx(1.0)
+        assert breakdown.cpu_wh == pytest.approx(1.0)
+
+    def test_unknown_profile_rejected(self):
+        log = ActivityLog(duration=1.0)
+        log.add_gpu("yolov3-9000", 1.0)
+        with pytest.raises(KeyError):
+            simple_model().breakdown(log)
+
+    def test_as_dict_rows(self):
+        log = ActivityLog(duration=10.0)
+        table = simple_model().breakdown(log).as_dict()
+        assert set(table) == {"GPU", "CPU", "SoC", "DDR", "Total"}
+
+
+class TestDefaultModel:
+    def test_gpu_power_monotone_in_input_size(self):
+        """Bigger YOLO inputs draw more GPU power (Table III shape)."""
+        power = TX2_POWER_MODEL.gpu_active
+        assert (
+            power["yolov3-320"]
+            < power["yolov3-416"]
+            < power["yolov3-512"]
+            < power["yolov3-608"]
+        )
+        assert power["yolov3-tiny-320"] < power["yolov3-320"]
+
+    def test_rail_fractions_match_paper(self):
+        """Table III shows DDR ~0.25x and SoC ~0.08x of GPU+CPU."""
+        assert TX2_POWER_MODEL.ddr_fraction == pytest.approx(0.25, abs=0.05)
+        assert TX2_POWER_MODEL.soc_fraction == pytest.approx(0.08, abs=0.03)
+
+    def test_all_profiles_covered(self):
+        from repro.detection.profiles import DETECTOR_PROFILES
+
+        for name in DETECTOR_PROFILES:
+            if name == "yolov3-704":
+                continue  # ground-truth proxy never runs in a pipeline
+            assert name in TX2_POWER_MODEL.gpu_active, name

@@ -1,0 +1,122 @@
+"""Unit tests for detection-to-ground-truth matching and F1."""
+
+import pytest
+
+from repro.detection.detector import Detection
+from repro.geometry import Box
+from repro.metrics.matching import f1_score, match_detections
+from repro.video.scene import FrameAnnotation, GroundTruthObject
+
+
+def gt(*objects):
+    return FrameAnnotation(
+        frame_index=0,
+        objects=tuple(
+            GroundTruthObject(i, label, box) for i, (label, box) in enumerate(objects)
+        ),
+    )
+
+
+def det(label, box, conf=0.9):
+    return Detection(label=label, box=box, confidence=conf)
+
+
+BOX_A = Box(10, 10, 20, 20)
+BOX_B = Box(100, 50, 30, 20)
+BOX_A_NEAR = Box(12, 11, 20, 20)  # IoU ~ 0.79 with BOX_A
+BOX_A_FAR = Box(25, 25, 20, 20)  # IoU ~ 0.14 with BOX_A
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        result = match_detections(
+            [det("car", BOX_A), det("person", BOX_B)],
+            gt(("car", BOX_A), ("person", BOX_B)),
+        )
+        assert result.true_positives == 2
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_near_match_above_threshold(self):
+        result = match_detections([det("car", BOX_A_NEAR)], gt(("car", BOX_A)))
+        assert result.true_positives == 1
+
+    def test_low_iou_not_matched(self):
+        result = match_detections([det("car", BOX_A_FAR)], gt(("car", BOX_A)))
+        assert result.true_positives == 0
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_label_mismatch_not_matched(self):
+        result = match_detections([det("truck", BOX_A)], gt(("car", BOX_A)))
+        assert result.true_positives == 0
+
+    def test_one_to_one_matching(self):
+        """Two detections cannot both claim one ground-truth object."""
+        result = match_detections(
+            [det("car", BOX_A), det("car", BOX_A_NEAR)], gt(("car", BOX_A))
+        )
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+
+    def test_missed_object(self):
+        result = match_detections([det("car", BOX_A)], gt(("car", BOX_A), ("car", BOX_B)))
+        assert result.false_negatives == 1
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(0.5)
+
+    def test_stricter_iou_threshold(self):
+        # BOX_A_NEAR has IoU ~0.79 with BOX_A: matched at 0.5, not at 0.85.
+        loose = match_detections([det("car", BOX_A_NEAR)], gt(("car", BOX_A)), 0.5)
+        strict = match_detections([det("car", BOX_A_NEAR)], gt(("car", BOX_A)), 0.85)
+        assert loose.true_positives == 1
+        assert strict.true_positives == 0
+
+    def test_empty_cases(self):
+        no_dets = match_detections([], gt(("car", BOX_A)))
+        assert no_dets.false_negatives == 1
+        no_truth = match_detections([det("car", BOX_A)], gt())
+        assert no_truth.false_positives == 1
+        assert no_truth.f1 == 0.0
+
+    def test_hungarian_at_least_as_good_as_greedy(self):
+        detections = [
+            det("car", Box(0, 0, 10, 10)),
+            det("car", Box(4, 0, 10, 10)),
+        ]
+        annotation = gt(("car", Box(2, 0, 10, 10)), ("car", Box(6, 0, 10, 10)))
+        greedy = match_detections(detections, annotation, 0.3, method="greedy")
+        optimal = match_detections(detections, annotation, 0.3, method="hungarian")
+        assert optimal.true_positives >= greedy.true_positives
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            match_detections([], gt(), method="psychic")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            match_detections([], gt(), iou_threshold=0.0)
+
+    def test_pairs_reported(self):
+        result = match_detections(
+            [det("car", BOX_B), det("car", BOX_A)],
+            gt(("car", BOX_A), ("car", BOX_B)),
+        )
+        assert set(result.pairs) == {(0, 1), (1, 0)}
+
+
+class TestF1:
+    def test_empty_vs_empty_is_perfect(self):
+        assert f1_score([], gt()) == 1.0
+
+    def test_spurious_on_empty_frame(self):
+        assert f1_score([det("car", BOX_A)], gt()) == 0.0
+
+    def test_f1_formula(self):
+        # 1 TP, 1 FP, 1 FN -> precision 0.5, recall 0.5, F1 0.5.
+        result = match_detections(
+            [det("car", BOX_A), det("car", BOX_A_FAR)],
+            gt(("car", BOX_A), ("car", BOX_B)),
+        )
+        assert result.f1 == pytest.approx(0.5)

@@ -1,0 +1,86 @@
+"""Property-based tests for detection matching."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.detection.detector import Detection
+from repro.geometry import Box
+from repro.metrics.matching import f1_score, match_detections
+from repro.video.scene import FrameAnnotation, GroundTruthObject
+
+LABELS = ("car", "person", "truck")
+
+
+@st.composite
+def boxes(draw):
+    left = draw(st.floats(0, 200, allow_nan=False))
+    top = draw(st.floats(0, 120, allow_nan=False))
+    width = draw(st.floats(4, 60, allow_nan=False))
+    height = draw(st.floats(4, 40, allow_nan=False))
+    return Box(left, top, width, height)
+
+
+@st.composite
+def detections(draw):
+    return Detection(
+        label=draw(st.sampled_from(LABELS)),
+        box=draw(boxes()),
+        confidence=draw(st.floats(0.1, 1.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def annotations(draw):
+    objects = draw(st.lists(st.tuples(st.sampled_from(LABELS), boxes()), max_size=6))
+    return FrameAnnotation(
+        frame_index=0,
+        objects=tuple(
+            GroundTruthObject(i, label, box) for i, (label, box) in enumerate(objects)
+        ),
+    )
+
+
+@given(st.lists(detections(), max_size=6), annotations())
+@settings(max_examples=150, deadline=None)
+def test_count_conservation(dets, annotation):
+    """TP+FP = detections and TP+FN = ground truth, TP bounded by both."""
+    result = match_detections(dets, annotation)
+    assert result.true_positives + result.false_positives == len(dets)
+    assert result.true_positives + result.false_negatives == len(annotation.objects)
+    assert result.true_positives <= min(len(dets), len(annotation.objects))
+
+
+@given(st.lists(detections(), max_size=6), annotations())
+@settings(max_examples=100, deadline=None)
+def test_metric_bounds(dets, annotation):
+    result = match_detections(dets, annotation)
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    assert 0.0 <= result.f1 <= 1.0
+    assert 0.0 <= f1_score(dets, annotation) <= 1.0
+
+
+@given(st.lists(detections(), max_size=6), annotations())
+@settings(max_examples=100, deadline=None)
+def test_hungarian_never_worse(dets, annotation):
+    greedy = match_detections(dets, annotation, method="greedy")
+    optimal = match_detections(dets, annotation, method="hungarian")
+    assert optimal.true_positives >= greedy.true_positives
+
+
+@given(st.lists(detections(), max_size=6), annotations())
+@settings(max_examples=100, deadline=None)
+def test_pairs_one_to_one(dets, annotation):
+    result = match_detections(dets, annotation)
+    det_indices = [i for i, _ in result.pairs]
+    truth_indices = [j for _, j in result.pairs]
+    assert len(det_indices) == len(set(det_indices))
+    assert len(truth_indices) == len(set(truth_indices))
+
+
+@given(st.lists(detections(), max_size=5), annotations())
+@settings(max_examples=80, deadline=None)
+def test_stricter_iou_never_more_tps(dets, annotation):
+    loose = match_detections(dets, annotation, iou_threshold=0.5)
+    strict = match_detections(dets, annotation, iou_threshold=0.75)
+    assert strict.true_positives <= loose.true_positives

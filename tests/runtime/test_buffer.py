@@ -1,0 +1,109 @@
+"""Unit tests (including threaded) for the frame buffer."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.buffer import FrameBuffer
+
+
+def frame(value):
+    return np.full((4, 4), value, dtype=np.float32)
+
+
+class TestBasics:
+    def test_push_and_fetch_newest(self):
+        buffer = FrameBuffer(capacity=4)
+        buffer.push(0, frame(0))
+        buffer.push(1, frame(1))
+        index, data = buffer.fetch_newest()
+        assert index == 1
+        assert data[0, 0] == 1
+
+    def test_get_specific(self):
+        buffer = FrameBuffer(capacity=4)
+        buffer.push(0, frame(0))
+        buffer.push(1, frame(1))
+        assert buffer.get(0)[0, 0] == 0
+        assert buffer.get(99) is None
+
+    def test_capacity_eviction(self):
+        buffer = FrameBuffer(capacity=3)
+        for i in range(5):
+            buffer.push(i, frame(i))
+        assert len(buffer) == 3
+        assert buffer.dropped == 2
+        assert buffer.get(0) is None
+        assert buffer.get(4) is not None
+
+    def test_out_of_order_push_rejected(self):
+        buffer = FrameBuffer()
+        buffer.push(5, frame(5))
+        with pytest.raises(ValueError):
+            buffer.push(5, frame(5))
+        with pytest.raises(ValueError):
+            buffer.push(3, frame(3))
+
+    def test_newest_index_empty(self):
+        assert FrameBuffer().newest_index() is None
+
+    def test_fetch_timeout_on_empty(self):
+        assert FrameBuffer().fetch_newest(timeout=0.05) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FrameBuffer(capacity=0)
+
+
+class TestThreaded:
+    def test_fetch_blocks_until_push(self):
+        buffer = FrameBuffer()
+        result = {}
+
+        def consumer():
+            result["frame"] = buffer.fetch_newest(timeout=2.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        buffer.push(0, frame(7))
+        thread.join(timeout=3.0)
+        assert not thread.is_alive()
+        assert result["frame"][0] == 0
+
+    def test_concurrent_producers_consumers(self):
+        """One camera thread, two readers; no exceptions, no lost newest."""
+        buffer = FrameBuffer(capacity=16)
+        stop = threading.Event()
+        errors = []
+
+        def camera():
+            for i in range(200):
+                buffer.push(i, frame(i % 100))
+            stop.set()
+
+        def reader():
+            try:
+                last = -1
+                while not stop.is_set() or buffer.newest_index() != last:
+                    got = buffer.fetch_newest(timeout=0.5)
+                    if got is None:
+                        break
+                    index, data = got
+                    assert index >= last  # newest never goes backwards
+                    last = index
+                    if last >= 199:
+                        break
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        camera_thread = threading.Thread(target=camera)
+        camera_thread.start()
+        camera_thread.join(timeout=5.0)
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not errors
+        assert buffer.newest_index() == 199

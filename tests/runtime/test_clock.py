@@ -1,0 +1,43 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_zero_allowed(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        assert clock.advance_to(3.0) == 3.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(5.0)
+        assert clock.advance_to(2.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_repr_contains_time(self):
+        assert "1.500" in repr(VirtualClock(1.5))

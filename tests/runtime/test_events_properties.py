@@ -1,0 +1,52 @@
+"""Property-based tests for the discrete-event queue."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.runtime.events import EventQueue
+
+
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_fires_in_nondecreasing_time_order(timestamps):
+    queue = EventQueue()
+    fired = []
+    for timestamp in timestamps:
+        queue.schedule(timestamp, lambda t: fired.append(t))
+    queue.run()
+    assert fired == sorted(timestamps)
+    assert len(queue) == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 50.0, allow_nan=False), st.integers(0, 1000)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_equal_timestamps_keep_insertion_order(pairs):
+    queue = EventQueue()
+    fired = []
+    for timestamp, token in pairs:
+        queue.schedule(timestamp, lambda t, tok=token: fired.append(tok))
+    queue.run()
+    order = sorted(range(len(pairs)), key=lambda i: (pairs[i][0], i))
+    expected = [pairs[i][1] for i in order]
+    assert fired == expected
+
+
+@given(
+    st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=30),
+    st.floats(0.0, 50.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_run_until_splits_cleanly(timestamps, cutoff):
+    queue = EventQueue()
+    fired = []
+    for timestamp in timestamps:
+        queue.schedule(timestamp, lambda t: fired.append(t))
+    queue.run(until=cutoff)
+    assert all(t <= cutoff for t in fired)
+    assert len(fired) + len(queue) == len(timestamps)

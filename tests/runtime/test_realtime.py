@@ -1,0 +1,51 @@
+"""Tests for the threaded live executor.
+
+Thread scheduling is non-deterministic, so these assert structural
+properties (every frame served, clean shutdown, plausible counters), not
+exact results.
+"""
+
+import pytest
+
+from repro.core.mpdt import FixedSettingPolicy
+from repro.runtime.realtime import LiveExecutor
+from repro.runtime.simulator import VALID_SOURCES, SOURCE_DETECTOR, SOURCE_TRACKER
+from repro.video.dataset import make_clip
+
+
+@pytest.fixture(scope="module")
+def live_run():
+    clip = make_clip("intersection", seed=3, num_frames=90)
+    executor = LiveExecutor(FixedSettingPolicy(512), time_scale=0.2)
+    results, stats = executor.run(clip)
+    return clip, results, stats
+
+
+class TestLiveExecutor:
+    def test_every_frame_served(self, live_run):
+        clip, results, _ = live_run
+        assert len(results) == clip.num_frames
+        assert [r.frame_index for r in results] == list(range(clip.num_frames))
+        assert all(r.source in VALID_SOURCES for r in results)
+
+    def test_detector_and_tracker_both_ran(self, live_run):
+        _, results, stats = live_run
+        sources = {r.source for r in results}
+        assert SOURCE_DETECTOR in sources
+        assert stats.detections >= 2
+        assert stats.tracked_frames >= 1
+        assert SOURCE_TRACKER in sources
+
+    def test_parallel_structure(self, live_run):
+        """Detections happen repeatedly while tracking continues: the
+        tracker gets cancelled by fresh detections at least once."""
+        _, _, stats = live_run
+        assert stats.cancelled_tracking_tasks >= 1
+
+    def test_profile_usage_counted(self, live_run):
+        _, _, stats = live_run
+        assert stats.profile_usage.get("yolov3-512", 0) == stats.detections
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            LiveExecutor(time_scale=0.0)

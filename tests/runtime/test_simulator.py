@@ -1,0 +1,138 @@
+"""Unit tests for pipeline-run machinery (ResultBoard, PipelineRun)."""
+
+import pytest
+
+from repro.detection.detector import Detection
+from repro.geometry import Box
+from repro.metrics.energy import ActivityLog
+from repro.runtime.simulator import (
+    SOURCE_DETECTOR,
+    SOURCE_HELD,
+    SOURCE_NONE,
+    SOURCE_TRACKER,
+    CycleRecord,
+    FrameResult,
+    PipelineRun,
+    ResultBoard,
+)
+
+DET = (Detection("car", Box(0, 0, 10, 10), 0.9),)
+
+
+def result(index, source=SOURCE_DETECTOR, t=1.0, detections=DET):
+    return FrameResult(index, detections, source, t)
+
+
+class TestFrameResult:
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            FrameResult(0, (), "oracle", 0.0)
+
+
+class TestResultBoard:
+    def test_basic_post_and_finalize(self):
+        board = ResultBoard(4)
+        board.post(result(0, t=0.5))
+        board.post(result(2, SOURCE_TRACKER, t=0.6))
+        results = board.finalize()
+        assert [r.source for r in results] == [
+            SOURCE_DETECTOR,
+            SOURCE_HELD,
+            SOURCE_TRACKER,
+            SOURCE_HELD,
+        ]
+        # Held frames carry the previous result's detections.
+        assert results[1].detections == DET
+        assert results[3].detections == DET
+
+    def test_warmup_frames_empty(self):
+        board = ResultBoard(3)
+        board.post(result(2))
+        results = board.finalize()
+        assert results[0].source == SOURCE_NONE
+        assert results[0].detections == ()
+        assert results[1].source == SOURCE_NONE
+
+    def test_later_post_wins(self):
+        board = ResultBoard(2)
+        board.post(result(0, SOURCE_TRACKER))
+        board.post(result(0, SOURCE_DETECTOR))
+        assert board.get(0).source == SOURCE_DETECTOR
+
+    def test_out_of_range_rejected(self):
+        board = ResultBoard(2)
+        with pytest.raises(IndexError):
+            board.post(result(2))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ResultBoard(0)
+
+
+def cycle(index, profile="yolov3-512", next_profile=None, velocity=1.0):
+    return CycleRecord(
+        index=index,
+        profile_name=profile,
+        detect_frame=index * 10,
+        detect_start=index * 0.4,
+        detect_end=index * 0.4 + 0.4,
+        buffered_frames=9,
+        planned_tracked=5,
+        tracked=5,
+        velocity=velocity,
+        next_profile=next_profile or profile,
+    )
+
+
+class TestCycleRecord:
+    def test_latency(self):
+        assert cycle(0).detection_latency == pytest.approx(0.4)
+
+    def test_switched(self):
+        assert not cycle(0).switched
+        assert cycle(0, next_profile="yolov3-320").switched
+
+
+def run_with_cycles(cycles):
+    results = [result(i, t=float(i)) for i in range(3)]
+    return PipelineRun(
+        method="test",
+        clip_name="clip",
+        num_frames=3,
+        fps=30.0,
+        results=results,
+        cycles=cycles,
+        activity=ActivityLog(duration=1.0),
+    )
+
+
+class TestPipelineRun:
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            PipelineRun(
+                method="m", clip_name="c", num_frames=5, fps=30.0,
+                results=[result(0)],
+            )
+
+    def test_source_counts(self):
+        run = run_with_cycles([])
+        assert run.source_counts()[SOURCE_DETECTOR] == 3
+
+    def test_profile_usage(self):
+        run = run_with_cycles(
+            [cycle(0), cycle(1, profile="yolov3-320"), cycle(2)]
+        )
+        assert run.profile_usage() == {"yolov3-512": 2, "yolov3-320": 1}
+
+    def test_cycles_between_switches(self):
+        cycles = [
+            cycle(0, next_profile="yolov3-320"),          # switch after 1
+            cycle(1, profile="yolov3-320"),               # no switch
+            cycle(2, profile="yolov3-320"),               # no switch
+            cycle(3, profile="yolov3-320", next_profile="yolov3-512"),  # after 3
+            cycle(4),                                      # trailing, not counted
+        ]
+        assert run_with_cycles(cycles).cycles_between_switches() == [1, 3]
+
+    def test_no_switches_empty(self):
+        assert run_with_cycles([cycle(0), cycle(1)]).cycles_between_switches() == []

@@ -1,0 +1,49 @@
+"""Tests for run diagnostics."""
+
+import pytest
+
+from repro.analysis import diagnose
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
+
+
+@pytest.fixture(scope="module")
+def diagnosis(tiny_clip):
+    run = MPDTPipeline(FixedSettingPolicy(512)).run(tiny_clip)
+    return diagnose(run, tiny_clip)
+
+
+class TestDiagnose:
+    def test_overall_matches_sources(self, diagnosis):
+        total = sum(stats.count for stats in diagnosis.by_source.values())
+        assert total == 60  # tiny_clip has 60 frames
+
+    def test_fresh_detections_best(self, diagnosis):
+        """Fresh detections must out-score held frames on average."""
+        detector = diagnosis.by_source["detector"]
+        held = diagnosis.by_source.get("held")
+        assert held is not None
+        assert detector.mean_f1 >= held.mean_f1
+
+    def test_age_decay_monotonic_ish(self, diagnosis):
+        """F1 at age 0 must exceed F1 at the oldest bucket."""
+        buckets = list(diagnosis.f1_by_age.items())
+        assert buckets[0][0] == "0"
+        assert buckets[0][1] > buckets[-1][1]
+
+    def test_cycle_stats_plausible(self, diagnosis):
+        # YOLOv3-512 at 30 fps: ~12-13 frames per cycle, ~400 ms detections.
+        assert 9 <= diagnosis.mean_cycle_frames <= 16
+        assert 0.35 <= diagnosis.mean_detection_latency <= 0.46
+
+    def test_report_renders(self, diagnosis):
+        text = diagnosis.report()
+        assert "by source" in text
+        assert "age" in text
+
+    def test_mismatched_clip_rejected(self, tiny_clip):
+        from repro.video.dataset import make_clip
+
+        other = make_clip("boat", seed=1, num_frames=30)
+        run = MPDTPipeline(FixedSettingPolicy(512)).run(tiny_clip)
+        with pytest.raises(ValueError):
+            diagnose(run, other)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["scenarios"],
+            ["show", "boat"],
+            ["run", "adavp"],
+            ["compare"],
+            ["fig", "6"],
+            ["table", "3"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "highway_surveillance" in out
+        assert "meeting_room" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "boat", "--frame", "2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "detections" in out
+        assert len(out.splitlines()) > 5
+
+    def test_run(self, capsys):
+        assert main(["run", "mpdt-512", "--scenario", "boat", "--frames", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        assert "mpdt-512" in out
+
+    def test_fig_unknown(self, capsys):
+        assert main(["fig", "99"]) == 2
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "99"]) == 2
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "Table II" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Unit and property tests for tracking-frame selection."""
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
+
+
+class TestSelectSpreadIndices:
+    def test_full_range(self):
+        assert select_spread_indices(0, 5, 5) == [0, 1, 2, 3, 4]
+
+    def test_subset_includes_last(self):
+        indices = select_spread_indices(10, 20, 3)
+        assert indices[-1] == 19
+        assert len(indices) == 3
+
+    def test_single_pick_is_last(self):
+        assert select_spread_indices(3, 9, 1) == [8]
+
+    def test_empty_cases(self):
+        assert select_spread_indices(5, 5, 3) == []
+        assert select_spread_indices(5, 4, 3) == []
+        assert select_spread_indices(0, 10, 0) == []
+
+    def test_roughly_even_spacing(self):
+        indices = select_spread_indices(0, 100, 4)
+        gaps = [b - a for a, b in zip(indices, indices[1:])]
+        assert max(gaps) - min(gaps) <= 2
+
+    @given(
+        start=st.integers(0, 1000),
+        length=st.integers(0, 200),
+        count=st.integers(0, 50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, start, length, count):
+        stop = start + length
+        indices = select_spread_indices(start, stop, count)
+        # Size: min(count, length), never more.
+        assert len(indices) == min(max(count, 0), length)
+        # Sorted, unique, in range.
+        assert indices == sorted(set(indices))
+        assert all(start <= i < stop for i in indices)
+        # Non-empty selections end on the freshest frame.
+        if indices:
+            assert indices[-1] == stop - 1
+
+
+class TestSelector:
+    def test_initial_fraction_clamped(self):
+        selector = TrackingFrameSelector(initial_fraction=2.0)
+        assert selector.fraction == 1.0
+
+    def test_plan_basic(self):
+        selector = TrackingFrameSelector(initial_fraction=0.5)
+        assert selector.plan(10) == 5
+        assert selector.plan(0) == 0
+        assert selector.plan(1) == 1  # always at least one when buffered
+
+    def test_plan_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrackingFrameSelector(0.5).plan(-1)
+
+    def test_paper_update_rule(self):
+        """p_t = h_{t-1} / f_{t-1} with no smoothing (paper default)."""
+        selector = TrackingFrameSelector(initial_fraction=0.5)
+        selector.record_cycle(tracked=3, buffered_frames=12)
+        assert selector.fraction == pytest.approx(0.25)
+        assert selector.plan(12) == 3
+
+    def test_smoothing(self):
+        selector = TrackingFrameSelector(initial_fraction=0.5, smoothing=0.5)
+        selector.record_cycle(tracked=12, buffered_frames=12)
+        assert selector.fraction == pytest.approx(0.75)
+
+    def test_zero_buffer_cycle_keeps_fraction(self):
+        selector = TrackingFrameSelector(initial_fraction=0.4)
+        selector.record_cycle(tracked=0, buffered_frames=0)
+        assert selector.fraction == pytest.approx(0.4)
+
+    def test_min_fraction_floor(self):
+        selector = TrackingFrameSelector(initial_fraction=0.5, min_fraction=0.1)
+        selector.record_cycle(tracked=0, buffered_frames=20)
+        assert selector.fraction == pytest.approx(0.1)
+
+    def test_cannot_track_more_than_buffered(self):
+        selector = TrackingFrameSelector(0.5)
+        with pytest.raises(ValueError):
+            selector.record_cycle(tracked=5, buffered_frames=3)
+
+    def test_history_recorded(self):
+        selector = TrackingFrameSelector(0.5)
+        selector.record_cycle(2, 10)
+        selector.record_cycle(3, 9)
+        assert selector.history == [(2, 10), (3, 9)]
+
+    @given(
+        cycles=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fraction_stays_in_unit_interval(self, cycles):
+        selector = TrackingFrameSelector(0.5)
+        for tracked, buffered in cycles:
+            selector.record_cycle(tracked, buffered)
+            assert 0.0 < selector.fraction <= 1.0

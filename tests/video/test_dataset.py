@@ -1,0 +1,61 @@
+"""Unit tests for clips and suites."""
+
+import pytest
+
+from repro.video.dataset import VideoSuite, make_clip
+from repro.video.library import make_scenario
+
+
+class TestVideoClip:
+    def test_make_clip_by_name(self):
+        clip = make_clip("boat", seed=4, num_frames=40)
+        assert clip.num_frames == 40
+        assert clip.fps == 30.0
+        assert clip.name == "boat-4"
+
+    def test_make_clip_by_config(self):
+        cfg = make_scenario("boat")
+        clip = make_clip(cfg, seed=4, num_frames=25, name="custom")
+        assert clip.name == "custom"
+        assert clip.num_frames == 25
+
+    def test_frame_and_annotation_aligned(self):
+        clip = make_clip("intersection", seed=1, num_frames=30)
+        ann = clip.annotation(10)
+        assert ann.frame_index == 10
+        frame = clip.frame(10)
+        assert frame.shape == (clip.config.frame_height, clip.config.frame_width)
+
+    def test_chunk_bounds_cover_video(self):
+        clip = make_clip("boat", seed=1, num_frames=95)
+        bounds = clip.chunk_bounds(1.0)
+        assert bounds[0] == (0, 30)
+        assert bounds[-1][1] == 95
+        # Contiguous and non-overlapping.
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(bounds, bounds[1:]):
+            assert a_hi == b_lo
+
+    def test_chunk_bounds_bad_duration(self):
+        clip = make_clip("boat", seed=1, num_frames=30)
+        with pytest.raises(ValueError):
+            clip.chunk_bounds(0.0)
+
+
+class TestVideoSuite:
+    def test_iteration_and_totals(self):
+        suite = VideoSuite(
+            name="s",
+            clips=[
+                make_clip("boat", seed=1, num_frames=30),
+                make_clip("boat", seed=2, num_frames=40),
+            ],
+        )
+        assert len(suite) == 2
+        assert suite.total_frames == 70
+        assert [c.num_frames for c in suite] == [30, 40]
+
+    def test_describe_mentions_clips(self):
+        suite = VideoSuite(name="s", clips=[make_clip("boat", seed=1, num_frames=30)])
+        text = suite.describe()
+        assert "boat-1" in text
+        assert "30 frames" in text

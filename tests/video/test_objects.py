@@ -1,0 +1,98 @@
+"""Unit tests for scene objects and trajectories."""
+
+import pytest
+
+from repro.video.objects import OBJECT_LABELS, SceneObject, Trajectory
+
+
+class TestTrajectory:
+    def test_constant_velocity(self):
+        traj = Trajectory(cx0=10.0, cy0=20.0, vx=2.0, vy=-1.0)
+        assert traj.center_at(0) == (10.0, 20.0)
+        assert traj.center_at(5) == (20.0, 15.0)
+
+    def test_acceleration(self):
+        traj = Trajectory(cx0=0.0, cy0=0.0, vx=1.0, vy=0.0, ax=2.0)
+        cx, cy = traj.center_at(4)
+        assert cx == pytest.approx(1.0 * 4 + 0.5 * 2.0 * 16)
+        assert cy == 0.0
+
+    def test_scale_growth(self):
+        traj = Trajectory(cx0=0, cy0=0, vx=0, vy=0, scale_rate=1.01)
+        assert traj.scale_at(0) == pytest.approx(1.0)
+        assert traj.scale_at(10) == pytest.approx(1.01**10)
+
+    def test_speed(self):
+        traj = Trajectory(cx0=0, cy0=0, vx=3.0, vy=4.0)
+        assert traj.speed() == pytest.approx(5.0)
+
+    def test_speed_with_acceleration(self):
+        traj = Trajectory(cx0=0, cy0=0, vx=1.0, vy=0.0, ax=1.0)
+        assert traj.speed(2.0) == pytest.approx(3.0)
+
+    def test_negative_age_rejected(self):
+        traj = Trajectory(cx0=0, cy0=0, vx=1, vy=1)
+        with pytest.raises(ValueError):
+            traj.center_at(-1)
+        with pytest.raises(ValueError):
+            traj.scale_at(-0.5)
+
+
+def make_object(**overrides):
+    defaults = dict(
+        object_id=0,
+        label="car",
+        spawn_frame=10,
+        base_width=30.0,
+        base_height=15.0,
+        trajectory=Trajectory(cx0=50.0, cy0=40.0, vx=2.0, vy=0.0),
+        texture_seed=7,
+    )
+    defaults.update(overrides)
+    return SceneObject(**defaults)
+
+
+class TestSceneObject:
+    def test_alive_window(self):
+        obj = make_object(max_lifetime=5)
+        assert not obj.alive_at(9)
+        assert obj.alive_at(10)
+        assert obj.alive_at(14)
+        assert not obj.alive_at(15)
+
+    def test_world_box_moves(self):
+        obj = make_object()
+        box0 = obj.world_box_at(10)
+        box5 = obj.world_box_at(15)
+        assert box5.left - box0.left == pytest.approx(10.0)
+        assert box0.center == (50.0, 40.0)
+
+    def test_world_box_scales(self):
+        obj = make_object(
+            trajectory=Trajectory(cx0=0, cy0=0, vx=0, vy=0, scale_rate=1.02)
+        )
+        assert obj.world_box_at(20).width == pytest.approx(30.0 * 1.02**10)
+
+    def test_query_before_spawn_raises(self):
+        obj = make_object()
+        with pytest.raises(ValueError):
+            obj.world_box_at(9)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            make_object(label="unicorn")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_object(base_width=0.0)
+
+    def test_invalid_deform_rejected(self):
+        with pytest.raises(ValueError):
+            make_object(deform_amp=-1.0)
+        with pytest.raises(ValueError):
+            make_object(deform_period=0.0)
+
+    def test_label_vocabulary_is_stable(self):
+        assert "car" in OBJECT_LABELS
+        assert "person" in OBJECT_LABELS
+        assert len(OBJECT_LABELS) == len(set(OBJECT_LABELS))

@@ -1,0 +1,112 @@
+"""Unit tests for scenario configuration and phases."""
+
+import pytest
+
+from repro.video.scenario import ScenarioConfig, ScenarioPhase, SpawnSpec
+
+
+def spawn(**overrides):
+    defaults = dict(
+        label="car",
+        arrival_rate=0.05,
+        speed_min=1.0,
+        speed_max=2.0,
+        width_range=(20.0, 30.0),
+        height_range=(10.0, 15.0),
+    )
+    defaults.update(overrides)
+    return SpawnSpec(**defaults)
+
+
+class TestSpawnSpec:
+    def test_valid_spec(self):
+        spec = spawn()
+        assert spec.direction == "lateral"
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            spawn(direction="diagonal")
+
+    def test_negative_rate(self):
+        with pytest.raises(ValueError):
+            spawn(arrival_rate=-0.1)
+
+    def test_speed_ordering(self):
+        with pytest.raises(ValueError):
+            spawn(speed_min=3.0, speed_max=1.0)
+
+    def test_negative_deformability(self):
+        with pytest.raises(ValueError):
+            spawn(deformability=-0.5)
+
+
+class TestScenarioConfig:
+    def test_derived_properties(self):
+        cfg = ScenarioConfig(name="x", fps=30.0, num_frames=90)
+        assert cfg.frame_interval == pytest.approx(1 / 30)
+        assert cfg.duration == pytest.approx(3.0)
+
+    def test_with_frames(self):
+        cfg = ScenarioConfig(name="x", num_frames=100).with_frames(50)
+        assert cfg.num_frames == 50
+        assert cfg.name == "x"
+
+    def test_too_small_frame_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="x", frame_width=16)
+
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(name="x", fps=0.0)
+
+    def test_content_speed_hint_includes_pan(self):
+        cfg = ScenarioConfig(name="x", camera_pan=(3.0, 4.0))
+        assert cfg.content_speed_hint() == pytest.approx(5.0)
+
+    def test_content_speed_hint_weighted(self):
+        cfg = ScenarioConfig(
+            name="x",
+            spawns=(
+                spawn(arrival_rate=0.1, speed_min=1.0, speed_max=1.0),
+                spawn(arrival_rate=0.1, speed_min=3.0, speed_max=3.0),
+            ),
+        )
+        assert cfg.content_speed_hint() == pytest.approx(2.0)
+
+
+class TestPhases:
+    def test_phase_lookup(self):
+        cfg = ScenarioConfig(
+            name="x",
+            num_frames=200,
+            phases=(
+                ScenarioPhase(start_frame=0, speed_scale=1.0),
+                ScenarioPhase(start_frame=100, speed_scale=2.0),
+            ),
+        )
+        assert cfg.phase_at(0).speed_scale == 1.0
+        assert cfg.phase_at(99).speed_scale == 1.0
+        assert cfg.phase_at(100).speed_scale == 2.0
+        assert cfg.phase_at(199).speed_scale == 2.0
+
+    def test_no_phases_identity(self):
+        cfg = ScenarioConfig(name="x")
+        phase = cfg.phase_at(50)
+        assert phase.speed_scale == 1.0
+        assert phase.rate_scale == 1.0
+
+    def test_unsorted_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                name="x",
+                phases=(
+                    ScenarioPhase(start_frame=100),
+                    ScenarioPhase(start_frame=50),
+                ),
+            )
+
+    def test_bad_phase_values(self):
+        with pytest.raises(ValueError):
+            ScenarioPhase(start_frame=-1)
+        with pytest.raises(ValueError):
+            ScenarioPhase(start_frame=0, speed_scale=0.0)

@@ -1,0 +1,170 @@
+"""Unit tests for scene generation and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.video.library import make_scenario
+from repro.video.scenario import ScenarioConfig, ScenarioPhase
+from repro.video.scene import Scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return Scene(make_scenario("intersection", num_frames=120), seed=42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_objects(self):
+        cfg = make_scenario("highway_surveillance", num_frames=60)
+        a = Scene(cfg, seed=9)
+        b = Scene(cfg, seed=9)
+        assert len(a.objects) == len(b.objects)
+        for oa, ob in zip(a.objects, b.objects):
+            assert oa.trajectory == ob.trajectory
+            assert oa.label == ob.label
+
+    def test_different_seed_different_objects(self):
+        cfg = make_scenario("highway_surveillance", num_frames=60)
+        a = Scene(cfg, seed=9)
+        b = Scene(cfg, seed=10)
+        traj_a = [o.trajectory for o in a.objects]
+        traj_b = [o.trajectory for o in b.objects]
+        assert traj_a != traj_b
+
+    def test_annotation_cached(self, scene):
+        first = scene.annotation(10)
+        second = scene.annotation(10)
+        assert first is second
+
+
+class TestAnnotations:
+    def test_every_frame_annotated(self, scene):
+        annotations = scene.annotations()
+        assert len(annotations) == 120
+        assert [a.frame_index for a in annotations] == list(range(120))
+
+    def test_boxes_inside_frame(self, scene):
+        cfg = scene.config
+        for index in range(0, 120, 10):
+            for obj in scene.annotation(index).objects:
+                assert obj.box.left >= 0.0
+                assert obj.box.top >= 0.0
+                assert obj.box.right <= cfg.frame_width + 1e-9
+                assert obj.box.bottom <= cfg.frame_height + 1e-9
+
+    def test_labels_from_vocabulary(self, scene):
+        from repro.video.objects import OBJECT_LABELS
+
+        for obj in scene.annotation(0).objects:
+            assert obj.label in OBJECT_LABELS
+
+    def test_initial_objects_visible(self, scene):
+        assert len(scene.annotation(0).objects) >= 1
+
+    def test_object_ids_unique_per_frame(self, scene):
+        for index in (0, 50, 119):
+            ids = [o.object_id for o in scene.annotation(index).objects]
+            assert len(ids) == len(set(ids))
+
+    def test_out_of_range_frame_raises(self, scene):
+        with pytest.raises(IndexError):
+            scene.annotation(120)
+        with pytest.raises(IndexError):
+            scene.annotation(-1)
+
+    def test_lateral_objects_eventually_leave(self):
+        """A lateral object crossing the frame disappears from annotations."""
+        from repro.video.scenario import SpawnSpec
+
+        cfg = ScenarioConfig(
+            name="single",
+            num_frames=400,
+            initial_objects=1,
+            spawns=(
+                SpawnSpec(
+                    label="car",
+                    arrival_rate=0.0,
+                    speed_min=2.0,
+                    speed_max=2.0,
+                    width_range=(25.0, 30.0),
+                    height_range=(12.0, 15.0),
+                ),
+            ),
+        )
+        scene = Scene(cfg, seed=3)
+        visible = [len(scene.annotation(i).objects) for i in range(0, 400, 10)]
+        assert visible[0] == 1
+        assert visible[-1] == 0
+
+
+class TestDifficulty:
+    def test_difficulty_in_unit_interval(self, scene):
+        values = [scene.difficulty(i) for i in range(120)]
+        assert min(values) >= 0.0
+        assert max(values) <= 1.0
+
+    def test_difficulty_varies(self, scene):
+        values = np.array([scene.difficulty(i) for i in range(120)])
+        assert values.std() > 0.01
+
+    def test_difficulty_smooth(self, scene):
+        values = np.array([scene.difficulty(i) for i in range(120)])
+        steps = np.abs(np.diff(values))
+        assert steps.max() < 0.1
+
+    def test_difficulty_disabled(self):
+        cfg = make_scenario("boat", num_frames=30, difficulty_amp=0.0)
+        scene = Scene(cfg, seed=1)
+        assert all(scene.difficulty(i) == 0.5 for i in range(30))
+
+    def test_annotation_carries_difficulty(self, scene):
+        ann = scene.annotation(7)
+        assert ann.difficulty == scene.difficulty(7)
+
+
+class TestPhases:
+    def test_phase_speeds_applied(self):
+        base = make_scenario("highway_surveillance", num_frames=300)
+        from dataclasses import replace
+
+        cfg = replace(
+            base,
+            initial_objects=0,
+            phases=(
+                ScenarioPhase(start_frame=0, speed_scale=1.0),
+                ScenarioPhase(start_frame=150, speed_scale=3.0),
+            ),
+        )
+        scene = Scene(cfg, seed=5)
+        early = [o for o in scene.objects if 0 < o.spawn_frame < 150]
+        late = [o for o in scene.objects if o.spawn_frame >= 150]
+        assert early and late
+        early_speed = np.mean([o.trajectory.speed() for o in early])
+        late_speed = np.mean([o.trajectory.speed() for o in late])
+        assert late_speed > 2.0 * early_speed
+
+    def test_rate_scale_zero_stops_arrivals(self):
+        base = make_scenario("highway_surveillance", num_frames=200)
+        from dataclasses import replace
+
+        cfg = replace(
+            base,
+            phases=(ScenarioPhase(start_frame=100, rate_scale=0.0),),
+        )
+        scene = Scene(cfg, seed=5)
+        assert not any(o.spawn_frame >= 100 for o in scene.objects)
+
+
+class TestCameraPath:
+    def test_static_camera(self):
+        cfg = make_scenario("intersection", num_frames=50)
+        scene = Scene(cfg, seed=1)
+        assert scene.camera_offset(0) == (0.0, 0.0)
+        assert scene.camera_offset(49) == (0.0, 0.0)
+
+    def test_panning_camera(self):
+        cfg = make_scenario("car_highway", num_frames=50)
+        scene = Scene(cfg, seed=1)
+        x0, _ = scene.camera_offset(0)
+        x1, _ = scene.camera_offset(40)
+        assert x1 > x0 + 50  # 2.5 px/frame pan over 40 frames plus jitter

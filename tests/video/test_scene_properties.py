@@ -1,0 +1,68 @@
+"""Property-based tests: any valid scenario yields a consistent scene."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.video.scenario import ScenarioConfig, SpawnSpec
+from repro.video.scene import Scene
+
+
+@st.composite
+def spawn_specs(draw):
+    label = draw(st.sampled_from(("car", "person", "boat", "dog")))
+    speed_min = draw(st.floats(0.0, 3.0, allow_nan=False))
+    speed_max = speed_min + draw(st.floats(0.0, 3.0, allow_nan=False))
+    return SpawnSpec(
+        label=label,
+        arrival_rate=draw(st.floats(0.0, 0.08, allow_nan=False)),
+        speed_min=speed_min,
+        speed_max=speed_max,
+        width_range=(10.0, 10.0 + draw(st.floats(0, 40, allow_nan=False))),
+        height_range=(8.0, 8.0 + draw(st.floats(0, 25, allow_nan=False))),
+        direction=draw(st.sampled_from(SpawnSpec.VALID_DIRECTIONS)),
+        deformability=draw(st.floats(0.0, 1.5, allow_nan=False)),
+    )
+
+
+@st.composite
+def scenarios(draw):
+    return ScenarioConfig(
+        name="prop",
+        num_frames=draw(st.integers(5, 60)),
+        spawns=tuple(draw(st.lists(spawn_specs(), min_size=1, max_size=3))),
+        initial_objects=draw(st.integers(0, 5)),
+        camera_pan=(draw(st.floats(-2, 2, allow_nan=False)), 0.0),
+        difficulty_amp=draw(st.floats(0.0, 0.5, allow_nan=False)),
+    )
+
+
+@given(scenarios(), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_scene_invariants(config, seed):
+    scene = Scene(config, seed=seed)
+    # Every frame annotates without error; boxes clipped to the frame.
+    for index in range(0, config.num_frames, max(1, config.num_frames // 5)):
+        annotation = scene.annotation(index)
+        assert annotation.frame_index == index
+        assert 0.0 <= annotation.difficulty <= 1.0
+        ids = [o.object_id for o in annotation.objects]
+        assert len(ids) == len(set(ids))
+        for obj in annotation.objects:
+            assert obj.box.left >= 0.0
+            assert obj.box.top >= 0.0
+            assert obj.box.right <= config.frame_width + 1e-9
+            assert obj.box.bottom <= config.frame_height + 1e-9
+            assert obj.box.area > 0.0
+
+
+@given(scenarios(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_scene_deterministic(config, seed):
+    a = Scene(config, seed=seed)
+    b = Scene(config, seed=seed)
+    assert len(a.objects) == len(b.objects)
+    for obj_a, obj_b in zip(a.objects, b.objects):
+        assert obj_a.trajectory == obj_b.trajectory
+        assert obj_a.texture_seed == obj_b.texture_seed
+    for index in (0, config.num_frames - 1):
+        assert a.annotation(index) == b.annotation(index)

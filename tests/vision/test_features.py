@@ -1,0 +1,94 @@
+"""Unit tests for Shi-Tomasi good-features-to-track."""
+
+import numpy as np
+import pytest
+
+from repro.vision.features import good_features_to_track, shi_tomasi_response
+
+
+def checkerboard(shape=(60, 80), cell=10):
+    ys, xs = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return (((ys // cell) + (xs // cell)) % 2).astype(np.float64)
+
+
+class TestResponse:
+    def test_flat_image_zero_response(self):
+        response = shi_tomasi_response(np.full((30, 30), 0.5))
+        assert np.allclose(response, 0.0, atol=1e-12)
+
+    def test_corner_stronger_than_edge(self):
+        """A checkerboard corner scores above a straight-edge point."""
+        image = np.zeros((40, 40))
+        image[:20, :20] = 1.0  # one bright quadrant: corner at (20, 20)
+        response = shi_tomasi_response(image)
+        corner_score = response[19:22, 19:22].max()
+        edge_score = response[10, 19:22].max()  # along the vertical edge
+        assert corner_score > 2.0 * edge_score
+
+    def test_response_nonnegative_at_corners(self):
+        response = shi_tomasi_response(checkerboard())
+        assert response.max() > 0.0
+
+
+class TestGoodFeatures:
+    def test_finds_checkerboard_corners(self):
+        corners = good_features_to_track(checkerboard(), max_corners=30)
+        assert len(corners) >= 10
+        # Checkerboard corners lie on the cell grid (multiples of 10).
+        snapped = np.round(corners / 10.0) * 10.0
+        assert np.abs(corners - snapped).max() < 3.0
+
+    def test_respects_max_corners(self):
+        corners = good_features_to_track(checkerboard(), max_corners=5)
+        assert len(corners) <= 5
+
+    def test_returns_strongest_first(self):
+        image = checkerboard()
+        response = shi_tomasi_response(image)
+        corners = good_features_to_track(image, max_corners=10)
+        scores = [response[int(y), int(x)] for x, y in corners]
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+    def test_min_distance_enforced(self):
+        corners = good_features_to_track(
+            checkerboard(), max_corners=50, min_distance=8.0
+        )
+        for i in range(len(corners)):
+            for j in range(i + 1, len(corners)):
+                dist = np.hypot(*(corners[i] - corners[j]))
+                assert dist >= 8.0 - 1e-9
+
+    def test_mask_restricts_detection(self):
+        image = checkerboard()
+        mask = np.zeros(image.shape, dtype=bool)
+        mask[:, :40] = True
+        corners = good_features_to_track(image, max_corners=30, mask=mask)
+        assert len(corners) > 0
+        assert np.all(corners[:, 0] < 40)
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            good_features_to_track(
+                checkerboard(), mask=np.ones((3, 3), dtype=bool)
+            )
+
+    def test_flat_image_returns_empty(self):
+        corners = good_features_to_track(np.full((30, 30), 0.4))
+        assert corners.shape == (0, 2)
+
+    def test_border_excluded(self):
+        corners = good_features_to_track(checkerboard(), max_corners=100, border=5)
+        if len(corners):
+            assert corners[:, 0].min() >= 5
+            assert corners[:, 1].min() >= 5
+
+    def test_invalid_parameters(self):
+        image = checkerboard()
+        with pytest.raises(ValueError):
+            good_features_to_track(image, max_corners=0)
+        with pytest.raises(ValueError):
+            good_features_to_track(image, quality_level=0.0)
+        with pytest.raises(ValueError):
+            good_features_to_track(image, quality_level=1.5)
+        with pytest.raises(ValueError):
+            good_features_to_track(np.zeros((4, 4, 3)))

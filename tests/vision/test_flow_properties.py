@@ -1,0 +1,54 @@
+"""Property-based tests for Lucas-Kanade: random translations are recovered."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.vision.features import good_features_to_track
+from repro.vision.image import gaussian_blur, sample_bilinear
+from repro.vision.optical_flow import track_features
+
+# One fixed texture for all examples (hypothesis shrinks over the shift).
+_RNG = np.random.default_rng(42)
+_IMAGE = gaussian_blur(_RNG.random((80, 100)), sigma=1.5)
+_POINTS = good_features_to_track(_IMAGE, max_corners=15, border=14)
+
+
+def _translate(image, dx, dy):
+    h, w = image.shape
+    ys, xs = np.mgrid[0:h, 0:w].astype(np.float64)
+    return sample_bilinear(image, xs - dx, ys - dy)
+
+
+shift = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+@given(dx=shift, dy=shift)
+@settings(max_examples=30, deadline=None)
+def test_small_translations_recovered(dx, dy):
+    moved = _translate(_IMAGE, dx, dy)
+    result = track_features(_IMAGE, moved, _POINTS)
+    good = result.status
+    # Most features must survive a small rigid shift...
+    assert good.mean() > 0.6
+    flow = result.points[good] - _POINTS[good]
+    # ...and the median flow must match the true shift to sub-pixel accuracy.
+    assert abs(float(np.median(flow[:, 0])) - dx) < 0.3
+    assert abs(float(np.median(flow[:, 1])) - dy) < 0.3
+
+
+@given(dx=shift, dy=shift)
+@settings(max_examples=15, deadline=None)
+def test_flow_antisymmetry(dx, dy):
+    """Tracking forward then backward returns near the start."""
+    moved = _translate(_IMAGE, dx, dy)
+    forward = track_features(_IMAGE, moved, _POINTS)
+    good = forward.status
+    if not good.any():
+        return
+    backward = track_features(moved, _IMAGE, forward.points[good])
+    both = backward.status
+    if not both.any():
+        return
+    roundtrip = backward.points[both] - _POINTS[good][both]
+    assert float(np.median(np.abs(roundtrip))) < 0.35

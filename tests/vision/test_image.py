@@ -1,0 +1,128 @@
+"""Unit tests for low-level image operations."""
+
+import numpy as np
+import pytest
+
+from repro.vision.image import (
+    build_pyramid,
+    gaussian_blur,
+    image_gradients,
+    pyramid_down,
+    sample_bilinear,
+)
+
+
+class TestGaussianBlur:
+    def test_preserves_constant_image(self):
+        image = np.full((20, 30), 0.7)
+        blurred = gaussian_blur(image, sigma=2.0)
+        assert np.allclose(blurred, 0.7, atol=1e-9)
+
+    def test_preserves_mean_roughly(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((40, 40))
+        blurred = gaussian_blur(image, sigma=1.5)
+        assert blurred.mean() == pytest.approx(image.mean(), abs=0.01)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((40, 40))
+        blurred = gaussian_blur(image, sigma=2.0)
+        assert blurred.var() < image.var()
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_blur(np.zeros((5, 5)), sigma=0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gaussian_blur(np.zeros((5, 5, 3)), sigma=1.0)
+
+
+class TestGradients:
+    def test_horizontal_ramp(self):
+        """Gradient of x-ramp: ix ~ slope, iy ~ 0."""
+        xs = np.arange(30, dtype=np.float64)
+        image = np.tile(0.01 * xs, (20, 1))
+        ix, iy = image_gradients(image)
+        interior = (slice(2, -2), slice(2, -2))
+        assert np.allclose(ix[interior], 0.01, atol=1e-6)
+        assert np.allclose(iy[interior], 0.0, atol=1e-6)
+
+    def test_vertical_ramp(self):
+        ys = np.arange(25, dtype=np.float64)
+        image = np.tile((0.02 * ys)[:, None], (1, 30))
+        ix, iy = image_gradients(image)
+        interior = (slice(2, -2), slice(2, -2))
+        assert np.allclose(iy[interior], 0.02, atol=1e-6)
+        assert np.allclose(ix[interior], 0.0, atol=1e-6)
+
+    def test_constant_image_zero_gradient(self):
+        ix, iy = image_gradients(np.full((10, 10), 0.3))
+        assert np.allclose(ix, 0.0, atol=1e-12)
+        assert np.allclose(iy, 0.0, atol=1e-12)
+
+
+class TestPyramid:
+    def test_pyramid_down_halves_shape(self):
+        out = pyramid_down(np.zeros((40, 60)))
+        assert out.shape == (20, 30)
+
+    def test_pyramid_down_odd_shape(self):
+        out = pyramid_down(np.zeros((41, 61)))
+        assert out.shape == (21, 31)
+
+    def test_build_pyramid_levels(self):
+        pyramid = build_pyramid(np.zeros((64, 64)), levels=3)
+        assert [p.shape for p in pyramid] == [(64, 64), (32, 32), (16, 16)]
+
+    def test_build_pyramid_stops_when_tiny(self):
+        pyramid = build_pyramid(np.zeros((20, 20)), levels=5)
+        assert len(pyramid) < 5
+        assert min(pyramid[-1].shape) >= 8
+
+    def test_build_pyramid_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            build_pyramid(np.zeros((16, 16)), levels=0)
+
+
+class TestBilinear:
+    def test_exact_at_integer_coords(self):
+        rng = np.random.default_rng(1)
+        image = rng.random((10, 12))
+        ys, xs = np.mgrid[0:10, 0:12]
+        sampled = sample_bilinear(image, xs.astype(float), ys.astype(float))
+        assert np.allclose(sampled, image)
+
+    def test_linear_interpolation_midpoint(self):
+        image = np.array([[0.0, 1.0], [0.0, 1.0]])
+        value = sample_bilinear(image, np.array([0.5]), np.array([0.5]))
+        assert value[0] == pytest.approx(0.5)
+
+    def test_planar_image_exact_everywhere(self):
+        """Bilinear sampling reproduces an affine image exactly."""
+        ys, xs = np.mgrid[0:20, 0:30]
+        image = 0.3 + 0.01 * xs + 0.02 * ys
+        rng = np.random.default_rng(2)
+        qx = rng.uniform(0, 29, size=50)
+        qy = rng.uniform(0, 19, size=50)
+        sampled = sample_bilinear(image, qx, qy)
+        assert np.allclose(sampled, 0.3 + 0.01 * qx + 0.02 * qy, atol=1e-9)
+
+    def test_out_of_bounds_clamped(self):
+        image = np.array([[1.0, 2.0], [3.0, 4.0]])
+        sampled = sample_bilinear(
+            image, np.array([-5.0, 10.0]), np.array([-5.0, 10.0])
+        )
+        assert sampled[0] == pytest.approx(1.0)
+        assert sampled[1] == pytest.approx(4.0)
+
+    def test_shape_preserved(self):
+        image = np.zeros((8, 8))
+        xs = np.zeros((3, 4, 5))
+        ys = np.zeros((3, 4, 5))
+        assert sample_bilinear(image, xs, ys).shape == (3, 4, 5)
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            sample_bilinear(np.zeros((1, 5)), np.array([0.0]), np.array([0.0]))

@@ -1,0 +1,60 @@
+"""Property-based tests for the image-operation substrate."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.vision.image import gaussian_blur, image_gradients, sample_bilinear
+
+images = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(8, 24), st.integers(8, 24)),
+    elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+)
+
+
+@given(images, st.floats(0.5, 3.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_blur_preserves_range_and_reduces_variance(image, sigma):
+    blurred = gaussian_blur(image, sigma)
+    assert blurred.min() >= image.min() - 1e-9
+    assert blurred.max() <= image.max() + 1e-9
+    assert blurred.var() <= image.var() + 1e-12
+
+
+@given(images)
+@settings(max_examples=60, deadline=None)
+def test_gradients_zero_mean_on_reflect_padding(image):
+    """Reflect padding makes the derivative kernel integrate to ~0 overall."""
+    ix, iy = image_gradients(image)
+    # Gradients are bounded by the image's dynamic range.
+    span = image.max() - image.min()
+    assert np.abs(ix).max() <= span + 1e-9
+    assert np.abs(iy).max() <= span + 1e-9
+
+
+@given(
+    images,
+    st.floats(0.0, 1.0, allow_nan=False),
+    st.floats(0.0, 1.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_bilinear_within_convex_hull(image, fx, fy):
+    """Interpolated values never exceed the image's value range."""
+    h, w = image.shape
+    xs = np.array([fx * (w - 1)])
+    ys = np.array([fy * (h - 1)])
+    value = sample_bilinear(image, xs, ys)[0]
+    assert image.min() - 1e-9 <= value <= image.max() + 1e-9
+
+
+@given(images)
+@settings(max_examples=40, deadline=None)
+def test_bilinear_identity_on_grid(image):
+    """Exact at integer coordinates (interior; the last row/column is
+    nudged inward by the border clamp, so it is excluded)."""
+    h, w = image.shape
+    ys, xs = np.mgrid[0 : h - 1, 0 : w - 1].astype(float)
+    sampled = sample_bilinear(image, xs, ys)
+    assert np.allclose(sampled, image[: h - 1, : w - 1])
