@@ -25,6 +25,7 @@ from repro.core.config import PipelineConfig
 from repro.detection.detector import SimulatedYOLOv3
 from repro.detection.profiles import get_profile
 from repro.metrics.energy import ActivityLog
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.runtime.simulator import (
     SOURCE_DETECTOR,
     SOURCE_TRACKER,
@@ -75,15 +76,18 @@ class MarlinPipeline:
         marlin: MarlinConfig | None = None,
         config: PipelineConfig | None = None,
         method_name: str | None = None,
+        obs: Telemetry | None = None,
     ) -> None:
         self.marlin = marlin or MarlinConfig()
         self.config = config or PipelineConfig()
         profile = get_profile(self.marlin.setting)
         self.setting = profile.name
         self.method_name = method_name or f"marlin-{profile.name}"
+        self.obs = obs or NULL_TELEMETRY
 
     def run(self, clip: VideoClip) -> PipelineRun:
         cfg = self.config
+        obs = self.obs
         marlin = self.marlin
         source = CameraSource(clip)
         width = clip.config.frame_width
@@ -114,6 +118,14 @@ class MarlinPipeline:
                 FrameResult(detect_frame, detection.detections, SOURCE_DETECTOR, t)
             )
             activity.add_cpu("overlay", cfg.latency.overlay)
+            obs.record_span(
+                "marlin.detect", detect_start, t,
+                frame=detect_frame, setting=detection.profile_name,
+            )
+            obs.counter("marlin.cycles").inc()
+            obs.histogram(
+                "marlin.cycle_latency", setting=detection.profile_name
+            ).observe(detection.latency)
 
             # ---- tracking phase (detector idle) --------------------------------
             tracker = ObjectTracker(
@@ -138,6 +150,10 @@ class MarlinPipeline:
                 # The tracker cannot process a frame before it is captured.
                 t = max(t, source.capture_time(next_position))
                 step = tracker.track_to(next_position)
+                obs.record_span(
+                    "marlin.track_step", t, t + step_cost, frame=next_position
+                )
+                obs.counter("marlin.tracked_frames").inc()
                 t += step_cost
                 activity.add_cpu(
                     "tracking", cfg.latency.track_latency(tracker.num_objects)
@@ -162,6 +178,7 @@ class MarlinPipeline:
                 if t - cycle_start >= marlin.max_cycle_seconds:
                     triggered = True
                 if triggered:
+                    obs.counter("marlin.triggers").inc()
                     break
 
             cycles.append(

@@ -13,6 +13,7 @@ from repro.core.config import PipelineConfig
 from repro.detection.detector import SimulatedYOLOv3
 from repro.detection.profiles import get_profile
 from repro.metrics.energy import ActivityLog
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.runtime.simulator import (
     SOURCE_DETECTOR,
     CycleRecord,
@@ -32,14 +33,17 @@ class NoTrackingPipeline:
         setting: str | int = 512,
         config: PipelineConfig | None = None,
         method_name: str | None = None,
+        obs: Telemetry | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         profile = get_profile(setting)
         self.setting = profile.name
         self.method_name = method_name or f"no-tracking-{profile.name}"
+        self.obs = obs or NULL_TELEMETRY
 
     def run(self, clip: VideoClip) -> PipelineRun:
         cfg = self.config
+        obs = self.obs
         source = CameraSource(clip)
         detector = SimulatedYOLOv3(
             self.setting, seed=cfg.detector_seed,
@@ -60,6 +64,14 @@ class NoTrackingPipeline:
             activity.add_cpu("detect_assist", detection.latency)
             activity.add_cpu("overlay", cfg.latency.overlay)
             board.post(FrameResult(frame, detection.detections, SOURCE_DETECTOR, t))
+            obs.record_span(
+                "no_tracking.detect", detect_start, t,
+                frame=frame, setting=detection.profile_name,
+            )
+            obs.counter("no_tracking.cycles").inc()
+            obs.histogram(
+                "no_tracking.cycle_latency", setting=detection.profile_name
+            ).observe(detection.latency)
             cycles.append(
                 CycleRecord(
                     index=len(cycles),

@@ -5,6 +5,8 @@ Usage::
     python -m repro scenarios                        # list scenario presets
     python -m repro show intersection --frame 10     # ASCII-render a frame
     python -m repro run adavp --scenario racetrack    # run a method on a clip
+    python -m repro run adavp --trace run.jsonl       # ... exporting telemetry
+    python -m repro obs mpdt-512 --scenario racetrack  # telemetry summary
     python -m repro compare --scenario city_street    # AdaVP vs baselines
     python -m repro fig 6                            # regenerate a paper figure
     python -m repro table 3                          # regenerate a paper table
@@ -50,9 +52,27 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """(telemetry, jsonl_sink) for the run/obs commands, or (None, None).
+
+    ``--trace`` exports spans + metrics to a JSONL file; ``--obs`` keeps
+    them in memory for the human-readable summary.  Without either flag the
+    pipelines get the default no-op telemetry and pay nothing.
+    """
+    from repro.obs import InMemorySink, JsonlSink, Telemetry
+
+    if getattr(args, "trace", None):
+        sink = JsonlSink(args.trace)
+        return Telemetry(sink), sink
+    if getattr(args, "obs", False):
+        return Telemetry(InMemorySink()), None
+    return None, None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    telemetry, jsonl = _build_telemetry(args)
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
-    method = make_method(args.method)
+    method = make_method(args.method, obs=telemetry)
     run = run_method_on_clip(method, clip)
     accuracy, f1 = evaluate_run(run, clip)
     counts = run.source_counts()
@@ -64,6 +84,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"/ {counts['held']} held")
     if run.profile_usage():
         print(f"settings:  {dict(sorted(run.profile_usage().items()))}")
+    if telemetry is not None:
+        telemetry.flush()
+        if jsonl is not None:
+            jsonl.close()
+            print(f"trace:     wrote {args.trace}", file=sys.stderr)
+        if getattr(args, "obs", False):
+            print()
+            print(telemetry.summary())
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import InMemorySink, JsonlSink, Telemetry
+
+    sink = InMemorySink()
+    telemetry = Telemetry(sink)
+    clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
+    run = run_method_on_clip(make_method(args.method, obs=telemetry), clip)
+    telemetry.flush()
+    counts = run.source_counts()
+    print(f"telemetry for {args.method} on {clip.name} ({clip.num_frames} frames; "
+          f"{counts['detector']} detected / {counts['tracker']} tracked "
+          f"/ {counts['held']} held)")
+    print()
+    print(telemetry.summary())
+    if args.trace:
+        jsonl = JsonlSink(args.trace)
+        for span in sink.spans:
+            jsonl.record_span(span)
+        jsonl.record_metrics(telemetry.metrics.snapshot())
+        jsonl.close()
+        print(f"\ntrace: wrote {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -161,7 +213,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", default="intersection")
     run.add_argument("--frames", type=int, default=300)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="export telemetry (spans + metrics) as JSONL")
+    run.add_argument("--obs", action="store_true",
+                     help="print a telemetry summary after the run")
     run.set_defaults(func=_cmd_run)
+
+    obs = sub.add_parser("obs", help="run one method and report its telemetry")
+    obs.add_argument("method")
+    obs.add_argument("--scenario", default="intersection")
+    obs.add_argument("--frames", type=int, default=300)
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--trace", metavar="PATH", default=None,
+                     help="also export the telemetry as JSONL")
+    obs.set_defaults(func=_cmd_obs)
 
     compare = sub.add_parser("compare", help="AdaVP vs baselines on one clip")
     compare.add_argument("--scenario", default="intersection")

@@ -34,6 +34,7 @@ from repro.core.config import PipelineConfig
 from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
 from repro.detection.profiles import FRAME_SIZES, get_profile
 from repro.metrics.accuracy import frame_f1_series
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.video.dataset import VideoClip
 
 
@@ -118,9 +119,11 @@ def collect_training_data(
     config: PipelineConfig | None = None,
     chunk_seconds: float = 1.0,
     settings: Sequence[int] = FRAME_SIZES,
+    obs: Telemetry | None = None,
 ) -> list[ChunkRecord]:
     """Run fixed-setting MPDT per size per clip and chunk the results."""
     config = config or PipelineConfig()
+    obs = obs or NULL_TELEMETRY
     records: list[ChunkRecord] = []
     for clip in clips:
         annotations = clip.scene.annotations()
@@ -128,7 +131,9 @@ def collect_training_data(
         for size in settings:
             setting = get_profile(size).name
             pipeline = MPDTPipeline(FixedSettingPolicy(setting), config)
-            run = pipeline.run(clip, collect_velocity_samples=True)
+            with obs.span("adaptation.collect", clip=clip.name, setting=setting):
+                run = pipeline.run(clip, collect_velocity_samples=True)
+            obs.counter("adaptation.training_runs").inc()
             f1 = frame_f1_series(run.detections_per_frame(), annotations)
             samples_by_chunk: dict[int, list[float]] = defaultdict(list)
             for frame_index, velocity in run.velocity_samples:
@@ -188,7 +193,9 @@ def _best_split(
     return float((v[best_k - 1] + v[best_k]) / 2.0)
 
 
-def train_threshold_table(records: Sequence[ChunkRecord]) -> ThresholdTable:
+def train_threshold_table(
+    records: Sequence[ChunkRecord], obs: Telemetry | None = None
+) -> ThresholdTable:
     """Learn one ``(v1, v2, v3)`` triple per setting from chunk records.
 
     For each chunk, the best size is the one with the highest mean F1 (ties
@@ -197,6 +204,7 @@ def train_threshold_table(records: Sequence[ChunkRecord]) -> ThresholdTable:
     s, best size); thresholds are fitted between adjacent size classes and
     made monotone.
     """
+    obs = obs or NULL_TELEMETRY
     by_chunk: dict[tuple[str, int], dict[str, ChunkRecord]] = defaultdict(dict)
     for record in records:
         by_chunk[(record.clip_name, record.chunk_index)][record.setting] = record
@@ -236,4 +244,9 @@ def train_threshold_table(records: Sequence[ChunkRecord]) -> ThresholdTable:
             raw.append(_best_split(v, np.isin(sizes, list(small_side))))
         ordered = np.maximum.accumulate(np.maximum(raw, 0.0))
         table[name] = VelocityThresholds(*[float(x) for x in ordered])
+        for boundary, value in enumerate(ordered, start=1):
+            obs.gauge(
+                "adaptation.threshold", setting=name, boundary=f"v{boundary}"
+            ).set(float(value))
+        obs.counter("adaptation.settings_trained").inc()
     return table

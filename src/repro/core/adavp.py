@@ -21,6 +21,7 @@ from repro.core.adaptation import (
 )
 from repro.core.config import PipelineConfig
 from repro.core.mpdt import MPDTPipeline
+from repro.obs import Telemetry
 from repro.runtime.simulator import PipelineRun
 from repro.video.dataset import VideoClip
 
@@ -44,6 +45,7 @@ class AdaVP:
         thresholds: ThresholdTable | None = None,
         config: PipelineConfig | None = None,
         initial_setting: str | int = 512,
+        obs: Telemetry | None = None,
     ) -> None:
         if thresholds is None:
             # Imported lazily: pretrained.py imports from adaptation, and
@@ -54,7 +56,9 @@ class AdaVP:
         self.thresholds = thresholds
         self.config = config or PipelineConfig()
         self.policy = AdaptiveSettingPolicy(thresholds, initial_setting)
-        self._pipeline = MPDTPipeline(self.policy, self.config, method_name="adavp")
+        self._pipeline = MPDTPipeline(
+            self.policy, self.config, method_name="adavp", obs=obs
+        )
 
     @classmethod
     def train(
@@ -63,12 +67,15 @@ class AdaVP:
         config: PipelineConfig | None = None,
         chunk_seconds: float = 1.0,
         initial_setting: str | int = 512,
+        obs: Telemetry | None = None,
     ) -> "AdaVP":
         """Learn the threshold table from a training corpus (paper §IV-D3)."""
         config = config or PipelineConfig()
-        records = collect_training_data(training_clips, config, chunk_seconds)
-        table = train_threshold_table(records)
-        return cls(thresholds=table, config=config, initial_setting=initial_setting)
+        records = collect_training_data(training_clips, config, chunk_seconds, obs=obs)
+        table = train_threshold_table(records, obs=obs)
+        return cls(
+            thresholds=table, config=config, initial_setting=initial_setting, obs=obs
+        )
 
     def process(self, clip: VideoClip, collect_velocity_samples: bool = False) -> PipelineRun:
         """Run AdaVP over one clip on the deterministic virtual timeline."""

@@ -23,11 +23,8 @@ from typing import Protocol
 from repro.core.config import PipelineConfig
 from repro.detection.detector import SimulatedYOLOv3
 from repro.detection.profiles import get_profile
-
-
-def _model_family(profile_name: str) -> str:
-    return "tiny" if "tiny" in profile_name else "full"
 from repro.metrics.energy import ActivityLog
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.runtime.simulator import (
     SOURCE_DETECTOR,
     SOURCE_TRACKER,
@@ -41,6 +38,15 @@ from repro.tracking.motion import MotionVelocityEstimator
 from repro.tracking.tracker import ObjectTracker
 from repro.video.dataset import VideoClip
 from repro.video.source import CameraSource
+
+
+def _model_family(profile_name: str) -> str:
+    """Which weight file a profile needs: ``"tiny"`` or ``"full"``.
+
+    Switching input sizes within one family is free; crossing the boundary
+    costs a model reload (paper §IV-D3).
+    """
+    return "tiny" if "tiny" in profile_name else "full"
 
 
 class SettingPolicy(Protocol):
@@ -81,10 +87,12 @@ class MPDTPipeline:
         policy: SettingPolicy,
         config: PipelineConfig | None = None,
         method_name: str | None = None,
+        obs: Telemetry | None = None,
     ) -> None:
         self.policy = policy
         self.config = config or PipelineConfig()
         self.method_name = method_name or "mpdt"
+        self.obs = obs or NULL_TELEMETRY
 
     def run(self, clip: VideoClip, collect_velocity_samples: bool = False) -> PipelineRun:
         """Simulate the pipeline over ``clip`` and return its run record.
@@ -94,6 +102,7 @@ class MPDTPipeline:
         needs for chunk-level statistics.
         """
         cfg = self.config
+        obs = self.obs
         source = CameraSource(clip)
         width = clip.config.frame_width
         height = clip.config.frame_height
@@ -139,6 +148,14 @@ class MPDTPipeline:
                 next_profile=detector.profile.name,
             )
         )
+        obs.record_span(
+            "mpdt.detect", 0.0, t,
+            cycle=0, frame=prev_frame, setting=prev_detection.profile_name,
+        )
+        obs.counter("mpdt.cycles").inc()
+        obs.histogram(
+            "mpdt.cycle_latency", setting=prev_detection.profile_name
+        ).observe(prev_detection.latency)
         velocity: float | None = None
 
         while True:
@@ -150,6 +167,11 @@ class MPDTPipeline:
                 # Crossing the full/tiny boundary means loading new weights
                 # (paper §IV-D3's reason for not pre-loading both models).
                 reload_cost = cfg.model_reload_latency
+                obs.record_span(
+                    "mpdt.model_reload", t, t + reload_cost,
+                    from_setting=previous_setting, to_setting=next_setting,
+                )
+                obs.counter("mpdt.model_reloads").inc()
 
             next_frame = source.newest_frame_at(t + reload_cost)
             detect_start = t + reload_cost
@@ -160,6 +182,10 @@ class MPDTPipeline:
                 next_frame = prev_frame + 1
                 detect_start = max(t + reload_cost, source.capture_time(next_frame))
 
+            if next_setting != previous_setting:
+                # Counted here, not at set_profile: a switch decided after
+                # the last frame never runs a cycle and is not a switch.
+                obs.counter("mpdt.switches").inc()
             detection = detector.detect(clip.annotation(next_frame))
             detect_end = detect_start + detection.latency
             activity.add_gpu(detection.profile_name, detection.latency)
@@ -175,8 +201,17 @@ class MPDTPipeline:
             buffered = next_frame - prev_frame - 1
             planned = selector.plan(buffered)
             tracked = 0
+            obs.histogram(
+                "mpdt.buffered_frames", bounds=(0, 1, 2, 3, 5, 8, 13, 21, 34)
+            ).observe(buffered)
             if planned > 0:
                 tracker.initialize(prev_frame, prev_detection.detections)
+                obs.record_span(
+                    "mpdt.seed_features",
+                    tracker_time,
+                    tracker_time + cfg.latency.feature_extraction,
+                    frame=prev_frame,
+                )
                 tracker_time += cfg.latency.feature_extraction
                 activity.add_cpu("feature_extraction", cfg.latency.feature_extraction)
                 for index in select_spread_indices(
@@ -184,8 +219,15 @@ class MPDTPipeline:
                 ):
                     step_cost = cfg.latency.per_frame_cost(tracker.num_objects)
                     if tracker_time + step_cost > detect_end:
-                        break  # cancelled: the detector is about to deliver
+                        # Cancelled: the detector is about to deliver.
+                        obs.counter("mpdt.cancelled_steps").inc()
+                        break
                     step = tracker.track_to(index)
+                    obs.record_span(
+                        "mpdt.track_step", tracker_time, tracker_time + step_cost,
+                        frame=index, objects=tracker.num_objects,
+                    )
+                    obs.counter("mpdt.tracked_frames").inc()
                     tracker_time += step_cost
                     activity.add_cpu(
                         "tracking", cfg.latency.track_latency(tracker.num_objects)
@@ -224,6 +266,15 @@ class MPDTPipeline:
                     ),
                 )
             )
+            obs.record_span(
+                "mpdt.detect", detect_start, detect_end,
+                cycle=len(cycles) - 1, frame=next_frame,
+                setting=detection.profile_name, tracked=tracked,
+            )
+            obs.counter("mpdt.cycles").inc()
+            obs.histogram(
+                "mpdt.cycle_latency", setting=detection.profile_name
+            ).observe(detection.latency)
             prev_frame = next_frame
             prev_detection = detection
 

@@ -1,0 +1,128 @@
+"""Spans and the tracer: nested timed regions of a pipeline run.
+
+A :class:`Span` is one named, timed region — a detection cycle, a feature
+seeding pass, a single tracker step.  Spans carry a free-form attribute
+dict (frame index, detector setting, …) so sinks can slice them without a
+schema.
+
+Two recording styles coexist because the repo has two notions of time:
+
+- :meth:`Tracer.span` is a context manager stamping wall-clock times — the
+  right tool for the threaded live executor and for training jobs.
+- :meth:`Tracer.record_span` takes explicit start/end stamps — the right
+  tool for the virtual-time simulators, whose "when" is a model quantity,
+  not the wall clock.
+
+The tracer is thread-safe: span ids come from a locked counter and the
+active-span stack used for parent attribution is thread-local, so the
+camera/detector/tracker threads can record concurrently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+from contextlib import contextmanager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sinks import Sink
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished timed region."""
+
+    name: str
+    start: float
+    end: float
+    span_id: int
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (what the JSONL sink writes)."""
+        record: dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "span_id": self.span_id,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class Tracer:
+    """Emits finished spans to a sink; safe to share between threads."""
+
+    def __init__(self, sink: "Sink", clock: Callable[[], float] | None = None) -> None:
+        self._sink = sink
+        self._clock = clock or time.monotonic
+        self._ids = itertools.count(1)
+        self._ids_lock = threading.Lock()
+        self._local = threading.local()
+
+    def _next_id(self) -> int:
+        with self._ids_lock:
+            return next(self._ids)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Wall-clock span around a code block; nests per-thread.
+
+        The yielded span is live — callers may add ``attrs`` entries before
+        the block exits (e.g. record how many frames a cycle tracked).
+        """
+        stack = self._stack()
+        span = Span(
+            name=name,
+            start=self._clock(),
+            end=0.0,
+            span_id=self._next_id(),
+            parent_id=stack[-1] if stack else None,
+            attrs=dict(attrs),
+        )
+        stack.append(span.span_id)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end = self._clock()
+            self._sink.record_span(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a span whose times the caller measured (virtual time)."""
+        span = Span(
+            name=name,
+            start=start,
+            end=end,
+            span_id=self._next_id(),
+            parent_id=parent_id,
+            attrs=dict(attrs),
+        )
+        self._sink.record_span(span)
+        return span

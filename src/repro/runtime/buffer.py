@@ -6,6 +6,11 @@ Used by the threaded live executor.  The camera thread pushes
 A bounded capacity models the device's real memory limit: when full, the
 oldest frames are dropped, exactly what happens on a device whose pipeline
 falls behind the camera.
+
+The buffer optionally records telemetry (pushes, drops, occupancy) into a
+:class:`repro.obs.Telemetry`; counters are incremented while holding the
+buffer lock, so the ``buffer.dropped`` counter always agrees with the
+``dropped`` attribute, even under contention.
 """
 
 from __future__ import annotations
@@ -15,11 +20,13 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs import NULL_TELEMETRY, Telemetry
+
 
 class FrameBuffer:
     """Bounded, lock-protected store of recent frames keyed by index."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, obs: Telemetry | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -27,6 +34,7 @@ class FrameBuffer:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self.dropped = 0
+        self._obs = obs or NULL_TELEMETRY
 
     def push(self, frame_index: int, frame: np.ndarray) -> None:
         """Add a captured frame, evicting the oldest if at capacity."""
@@ -39,7 +47,10 @@ class FrameBuffer:
             while len(self._frames) >= self.capacity:
                 self._frames.popitem(last=False)
                 self.dropped += 1
+                self._obs.counter("buffer.dropped").inc()
             self._frames[frame_index] = frame
+            self._obs.counter("buffer.pushed").inc()
+            self._obs.gauge("buffer.occupancy").set(len(self._frames))
             self._not_empty.notify_all()
 
     def newest_index(self) -> int | None:
@@ -47,6 +58,13 @@ class FrameBuffer:
             if not self._frames:
                 return None
             return next(reversed(self._frames))
+
+    def oldest_index(self) -> int | None:
+        """The oldest retained frame index (monotone under eviction)."""
+        with self._lock:
+            if not self._frames:
+                return None
+            return next(iter(self._frames))
 
     def fetch_newest(self, timeout: float | None = None) -> tuple[int, np.ndarray] | None:
         """The most recent frame, blocking up to ``timeout`` for one to exist."""

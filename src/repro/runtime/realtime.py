@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.config import PipelineConfig
 from repro.core.mpdt import FixedSettingPolicy, SettingPolicy
 from repro.detection.detector import SimulatedYOLOv3
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.runtime.buffer import FrameBuffer
 from repro.runtime.simulator import (
     SOURCE_DETECTOR,
@@ -68,6 +69,7 @@ class LiveExecutor:
         config: PipelineConfig | None = None,
         time_scale: float = 0.2,
         buffer_capacity: int = 64,
+        obs: Telemetry | None = None,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
@@ -75,11 +77,13 @@ class LiveExecutor:
         self.config = config or PipelineConfig()
         self.time_scale = time_scale
         self.buffer_capacity = buffer_capacity
+        self.obs = obs or NULL_TELEMETRY
 
     def run(self, clip: VideoClip) -> tuple[list[FrameResult], LiveRunStats]:
         cfg = self.config
+        obs = self.obs
         stats = LiveRunStats()
-        buffer = FrameBuffer(capacity=self.buffer_capacity)
+        buffer = FrameBuffer(capacity=self.buffer_capacity, obs=obs)
         board = ResultBoard(clip.num_frames)
         board_lock = threading.Lock()
         start = time.monotonic()
@@ -130,14 +134,20 @@ class LiveExecutor:
                 setting = self.policy.next_setting(velocity, detector.profile.name)
                 if setting != detector.profile.name:
                     stats.switches += 1
+                    obs.counter("live.switches").inc()
                 detector.set_profile(setting)
-                result = detector.detect(clip.annotation(index))
-                time.sleep(result.latency * self.time_scale)
+                with obs.span("live.detect", frame=index, setting=setting):
+                    result = detector.detect(clip.annotation(index))
+                    time.sleep(result.latency * self.time_scale)
+                obs.histogram(
+                    "live.detect_latency", setting=result.profile_name
+                ).observe(result.latency)
                 with board_lock:
                     board.post(
                         FrameResult(index, result.detections, SOURCE_DETECTOR, now())
                     )
                 stats.detections += 1
+                obs.counter("live.detections").inc()
                 stats.profile_usage[result.profile_name] = (
                     stats.profile_usage.get(result.profile_name, 0) + 1
                 )
@@ -167,8 +177,9 @@ class LiveExecutor:
                     cfg.tracker,
                     seed=cfg.detector_seed * 1_000_003 + seed_frame,
                 )
-                tracker.initialize(seed_frame, detections)
-                time.sleep(latency.feature_extraction * self.time_scale)
+                with obs.span("live.seed_features", frame=seed_frame):
+                    tracker.initialize(seed_frame, detections)
+                    time.sleep(latency.feature_extraction * self.time_scale)
                 position = seed_frame
                 velocities = []
                 while not detection_ready.is_set() and not detector_done.is_set():
@@ -183,10 +194,12 @@ class LiveExecutor:
                     # Track every other frame (the steady-state selection
                     # fraction at Table II costs); held frames fill later.
                     position = min(position + 2, newest)
-                    step = tracker.track_to(position)
-                    time.sleep(
-                        latency.per_frame_cost(tracker.num_objects) * self.time_scale
-                    )
+                    with obs.span("live.track_step", frame=position):
+                        step = tracker.track_to(position)
+                        time.sleep(
+                            latency.per_frame_cost(tracker.num_objects)
+                            * self.time_scale
+                        )
                     with board_lock:
                         board.post(
                             FrameResult(
@@ -194,12 +207,14 @@ class LiveExecutor:
                             )
                         )
                     stats.tracked_frames += 1
+                    obs.counter("live.tracked_frames").inc()
                     if step.velocity is not None:
                         velocities.append(step.velocity)
                 if detection_ready.is_set():
                     # Cancelled by a fresh detection (paper's rule): the
                     # remaining backlog frames will display held results.
                     stats.cancelled_tracking_tasks += 1
+                    obs.counter("live.cancelled_tracking_tasks").inc()
                 if velocities:
                     latest_detection["measured_velocity"] = float(
                         sum(velocities) / len(velocities)

@@ -3,8 +3,29 @@
 import pytest
 
 from repro.core.config import PipelineConfig
-from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline, _model_family
 from repro.runtime.simulator import SOURCE_DETECTOR, SOURCE_TRACKER
+
+
+class TestModelFamily:
+    @pytest.mark.parametrize(
+        "profile_name, family",
+        [
+            ("yolov3-320", "full"),
+            ("yolov3-416", "full"),
+            ("yolov3-512", "full"),
+            ("yolov3-608", "full"),
+            ("yolov3-tiny-320", "tiny"),
+            ("yolov3-tiny-416", "tiny"),
+        ],
+    )
+    def test_known_profiles(self, profile_name, family):
+        assert _model_family(profile_name) == family
+
+    def test_boundary_crossing_is_what_costs_a_reload(self):
+        # Input-size changes within a family are free; crossing is not.
+        assert _model_family("yolov3-512") == _model_family("yolov3-320")
+        assert _model_family("yolov3-512") != _model_family("yolov3-tiny-416")
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,87 @@
+"""Property-based IoU tests with a plain ``random.Random`` generator.
+
+The hypothesis-based suite (test_box_properties.py) shrinks failures
+nicely; this file covers the same algebraic properties with a
+dependency-free seeded generator so the invariants stay pinned even in
+environments without hypothesis — and adds matrix/scalar consistency,
+which the hypothesis suite does not check.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Box, iou, iou_matrix
+
+N_CASES = 300
+
+
+def random_box(rng: random.Random, min_size: float = 0.0) -> Box:
+    return Box(
+        left=rng.uniform(-500.0, 500.0),
+        top=rng.uniform(-500.0, 500.0),
+        width=rng.uniform(min_size, 200.0),
+        height=rng.uniform(min_size, 200.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(0xAD4)
+
+
+class TestIoUProperties:
+    def test_symmetry(self, rng):
+        for _ in range(N_CASES):
+            a, b = random_box(rng), random_box(rng)
+            assert iou(a, b) == iou(b, a)
+
+    def test_bounds(self, rng):
+        for _ in range(N_CASES):
+            value = iou(random_box(rng), random_box(rng))
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_identity_is_one(self, rng):
+        for _ in range(N_CASES):
+            box = random_box(rng, min_size=0.5)
+            assert iou(box, box) == pytest.approx(1.0)
+
+    def test_zero_area_matches_nothing(self, rng):
+        for _ in range(N_CASES // 3):
+            degenerate = Box(rng.uniform(-100, 100), rng.uniform(-100, 100), 0.0, 0.0)
+            assert iou(degenerate, random_box(rng, min_size=0.5)) == 0.0
+
+    def test_disjoint_boxes_score_zero(self, rng):
+        for _ in range(N_CASES // 3):
+            a = random_box(rng, min_size=0.5)
+            # Shift b entirely past a's right edge: guaranteed disjoint.
+            b = random_box(rng, min_size=0.5)
+            b = Box(a.right + abs(b.left) + 1.0, b.top, b.width, b.height)
+            assert iou(a, b) == 0.0
+
+    def test_translation_invariance(self, rng):
+        for _ in range(N_CASES // 3):
+            a, b = random_box(rng, 0.5), random_box(rng, 0.5)
+            dx, dy = rng.uniform(-50, 50), rng.uniform(-50, 50)
+            moved = iou(a.shifted(dx, dy), b.shifted(dx, dy))
+            assert moved == pytest.approx(iou(a, b), abs=1e-9)
+
+    def test_contained_box_scores_area_ratio(self, rng):
+        for _ in range(N_CASES // 3):
+            outer = random_box(rng, min_size=10.0)
+            inner = outer.scaled(rng.uniform(0.2, 0.9))
+            assert iou(inner, outer) == pytest.approx(
+                inner.area / outer.area, rel=1e-9
+            )
+
+
+class TestIoUMatrixConsistency:
+    def test_matrix_agrees_with_scalar(self, rng):
+        for _ in range(40):
+            rows = [random_box(rng) for _ in range(rng.randint(0, 5))]
+            cols = [random_box(rng) for _ in range(rng.randint(0, 5))]
+            matrix = iou_matrix(rows, cols)
+            assert matrix.shape == (len(rows), len(cols))
+            for i, a in enumerate(rows):
+                for j, b in enumerate(cols):
+                    assert matrix[i, j] == pytest.approx(iou(a, b), abs=1e-9)

@@ -1,0 +1,147 @@
+"""Property-based matching tests with a plain ``random.Random`` generator.
+
+Complements the hypothesis suite (test_matching_properties.py) with the
+permutation-stability property: greedy matching orders candidate pairs by
+IoU value, so shuffling the detection list (or the ground-truth list) must
+not change the TP/FP/FN counts.  Continuous random coordinates make exact
+IoU ties measure-zero, which is what the property relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.detection.detector import Detection
+from repro.geometry import Box
+from repro.metrics.matching import f1_score, match_detections
+from repro.video.scene import FrameAnnotation, GroundTruthObject
+
+LABELS = ("car", "person", "truck", "bicycle")
+N_CASES = 150
+
+
+def random_detection(rng: random.Random) -> Detection:
+    return Detection(
+        label=rng.choice(LABELS),
+        box=Box(
+            rng.uniform(0, 200), rng.uniform(0, 120),
+            rng.uniform(4, 60), rng.uniform(4, 40),
+        ),
+        confidence=rng.uniform(0.1, 1.0),
+    )
+
+
+def random_scene(rng: random.Random, max_objects: int = 6):
+    """A detections list overlapping a ground-truth annotation.
+
+    Half the detections are jittered copies of ground-truth boxes so the
+    matcher sees plenty of above-threshold candidates, not just noise.
+    """
+    objects = tuple(
+        GroundTruthObject(
+            i,
+            rng.choice(LABELS),
+            Box(
+                rng.uniform(0, 200), rng.uniform(0, 120),
+                rng.uniform(8, 60), rng.uniform(8, 40),
+            ),
+        )
+        for i in range(rng.randint(0, max_objects))
+    )
+    detections = [random_detection(rng) for _ in range(rng.randint(0, 3))]
+    for obj in objects:
+        if rng.random() < 0.7:
+            jitter = rng.uniform(0.0, 0.2)
+            detections.append(
+                Detection(
+                    label=obj.label,
+                    box=obj.box.shifted(
+                        jitter * obj.box.width, jitter * obj.box.height
+                    ),
+                    confidence=rng.uniform(0.3, 1.0),
+                )
+            )
+    annotation = FrameAnnotation(frame_index=0, objects=objects)
+    return detections, annotation
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(0x5EED)
+
+
+def counts(result):
+    return (result.true_positives, result.false_positives, result.false_negatives)
+
+
+class TestGreedyPermutationStability:
+    def test_detection_order_does_not_change_counts(self, rng):
+        for _ in range(N_CASES):
+            detections, annotation = random_scene(rng)
+            baseline = match_detections(detections, annotation)
+            shuffled = detections[:]
+            rng.shuffle(shuffled)
+            permuted = match_detections(shuffled, annotation)
+            assert counts(permuted) == counts(baseline)
+            assert permuted.f1 == pytest.approx(baseline.f1)
+
+    def test_truth_order_does_not_change_counts(self, rng):
+        for _ in range(N_CASES):
+            detections, annotation = random_scene(rng)
+            baseline = match_detections(detections, annotation)
+            reordered = list(annotation.objects)
+            rng.shuffle(reordered)
+            permuted = match_detections(
+                detections,
+                FrameAnnotation(frame_index=0, objects=tuple(reordered)),
+            )
+            assert counts(permuted) == counts(baseline)
+
+    def test_matched_pairs_map_to_same_boxes(self, rng):
+        """Beyond counts: the permuted matching pairs the same geometry."""
+        for _ in range(N_CASES // 3):
+            detections, annotation = random_scene(rng)
+            baseline = match_detections(detections, annotation)
+            order = list(range(len(detections)))
+            rng.shuffle(order)
+            shuffled = [detections[i] for i in order]
+            permuted = match_detections(shuffled, annotation)
+            base_pairs = {
+                (id(detections[i]), j) for i, j in baseline.pairs
+            }
+            perm_pairs = {
+                (id(shuffled[i]), j) for i, j in permuted.pairs
+            }
+            assert perm_pairs == base_pairs
+
+
+class TestRandomisedInvariants:
+    def test_f1_bounds_and_conservation(self, rng):
+        for _ in range(N_CASES):
+            detections, annotation = random_scene(rng)
+            result = match_detections(detections, annotation)
+            tp, fp, fn = counts(result)
+            assert tp + fp == len(detections)
+            assert tp + fn == len(annotation.objects)
+            assert 0.0 <= f1_score(detections, annotation) <= 1.0
+
+    def test_greedy_never_beats_hungarian(self, rng):
+        for _ in range(N_CASES):
+            detections, annotation = random_scene(rng)
+            greedy = match_detections(detections, annotation, method="greedy")
+            optimal = match_detections(detections, annotation, method="hungarian")
+            assert greedy.true_positives <= optimal.true_positives
+
+    def test_perfect_detections_score_one(self, rng):
+        for _ in range(N_CASES // 3):
+            _, annotation = random_scene(rng)
+            perfect = [
+                Detection(label=o.label, box=o.box, confidence=1.0)
+                for o in annotation.objects
+            ]
+            if not perfect:
+                assert f1_score(perfect, annotation) == 1.0
+                continue
+            result = match_detections(perfect, annotation)
+            assert counts(result) == (len(perfect), 0, 0)
+            assert result.f1 == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", setting="512")
+        b = registry.counter("c", setting="608")
+        a.inc()
+        assert a is not b
+        assert b.value == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def work():
+            for _ in range(5_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(0.6)
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(0.3)
+        assert hist.mean == pytest.approx(0.2)
+
+    def test_bucketing(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1]
+        assert sum(hist.bucket_counts) == hist.count
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", bounds=(2.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_covers_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(0.5)
+        kinds = {record["kind"] for record in registry.snapshot()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_snapshot_is_stable_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        names = [r["name"] for r in registry.snapshot()]
+        assert names == sorted(names)
+
+    def test_find_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.find("missing") is None
+        registry.counter("c", setting="512").inc(2)
+        found = registry.find("c", setting="512")
+        assert found is not None and found.value == 2
+
+    def test_same_name_different_kind_coexists(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("x").set(1.0)
+        assert len(registry.snapshot()) == 2

@@ -1,0 +1,127 @@
+"""Unit tests for spans and the tracer."""
+
+import threading
+
+from repro.obs import InMemorySink, Tracer
+from repro.obs.trace import Span
+
+
+class FakeClock:
+    """A settable clock so wall-clock spans are testable deterministically."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(name="x", start=1.0, end=3.5, span_id=1)
+        assert span.duration == 2.5
+
+    def test_to_dict_omits_empty_fields(self):
+        span = Span(name="x", start=0.0, end=1.0, span_id=1)
+        record = span.to_dict()
+        assert record["kind"] == "span"
+        assert "parent_id" not in record
+        assert "attrs" not in record
+
+    def test_to_dict_includes_attrs_and_parent(self):
+        span = Span(
+            name="x", start=0.0, end=1.0, span_id=2, parent_id=1, attrs={"f": 3}
+        )
+        record = span.to_dict()
+        assert record["parent_id"] == 1
+        assert record["attrs"] == {"f": 3}
+
+
+class TestTracer:
+    def test_context_manager_records_clock_times(self):
+        sink = InMemorySink()
+        clock = FakeClock()
+        tracer = Tracer(sink, clock=clock)
+        with tracer.span("work", frame=7):
+            clock.t = 2.0
+        (span,) = sink.spans
+        assert span.name == "work"
+        assert span.start == 0.0
+        assert span.end == 2.0
+        assert span.attrs == {"frame": 7}
+
+    def test_nesting_sets_parent_ids(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, recorded_outer = sink.spans  # inner finishes (and records) first
+        assert recorded_outer.span_id == outer.span_id
+        assert inner.parent_id == outer.span_id
+        assert recorded_outer.parent_id is None
+
+    def test_attrs_can_be_added_inside_block(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        with tracer.span("cycle") as span:
+            span.attrs["tracked"] = 5
+        assert sink.spans[0].attrs["tracked"] == 5
+
+    def test_record_span_explicit_times(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.record_span("virtual", 1.5, 2.0, frame=3)
+        (span,) = sink.spans
+        assert span.start == 1.5 and span.end == 2.0
+        assert span.attrs == {"frame": 3}
+
+    def test_span_recorded_even_when_block_raises(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert len(sink.spans) == 1
+
+    def test_span_ids_unique_across_threads(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+
+        def work():
+            for _ in range(200):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [span.span_id for span in sink.spans]
+        assert len(ids) == 800
+        assert len(set(ids)) == 800
+
+    def test_parent_stack_is_per_thread(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        started = threading.Event()
+        release = threading.Event()
+
+        def other():
+            started.set()
+            release.wait(timeout=5)
+            with tracer.span("other"):
+                pass
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        started.wait(timeout=5)
+        with tracer.span("main"):
+            release.set()
+            thread.join(timeout=5)
+        other_span = next(s for s in sink.spans if s.name == "other")
+        # The other thread's span must not be parented under "main".
+        assert other_span.parent_id is None

@@ -16,6 +16,8 @@ class TestParser:
             ["scenarios"],
             ["show", "boat"],
             ["run", "adavp"],
+            ["run", "adavp", "--obs", "--trace", "t.jsonl"],
+            ["obs", "mpdt-512"],
             ["compare"],
             ["fig", "6"],
             ["table", "3"],
@@ -42,6 +44,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "accuracy:" in out
         assert "mpdt-512" in out
+
+    def test_run_with_obs_summary(self, capsys):
+        assert main(
+            ["run", "mpdt-512", "--scenario", "boat", "--frames", "90", "--obs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        assert "mpdt.detect" in out
+        assert "mpdt.cycle_latency" in out
+
+    def test_run_with_trace_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "mpdt-512", "--scenario", "boat", "--frames", "90",
+             "--trace", str(path)]
+        ) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert "span" in kinds and "histogram" in kinds
+
+    def test_obs_command(self, capsys):
+        assert main(
+            ["obs", "adavp", "--scenario", "boat", "--frames", "90"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry for adavp" in out
+        assert "mpdt.detect" in out
+        assert "counter" in out
 
     def test_fig_unknown(self, capsys):
         assert main(["fig", "99"]) == 2
