@@ -98,6 +98,7 @@ class MarlinPipeline:
         )
         board = ResultBoard(clip.num_frames)
         activity = ActivityLog()
+        pyramid_cache = cfg.make_pyramid_cache()
         cycles: list[CycleRecord] = []
 
         # Tracking stride so the tracker keeps camera pace on average:
@@ -131,6 +132,7 @@ class MarlinPipeline:
             tracker = ObjectTracker(
                 clip.frame, width, height, cfg.tracker,
                 seed=cfg.detector_seed * 1_000_003 + detect_frame,
+                pyramid_cache=pyramid_cache,
             )
             tracker.initialize(detect_frame, detection.detections)
             t += cfg.latency.feature_extraction

@@ -10,6 +10,8 @@ Usage::
     python -m repro compare --scenario city_street    # AdaVP vs baselines
     python -m repro fig 6                            # regenerate a paper figure
     python -m repro table 3                          # regenerate a paper table
+    python -m repro bench                            # hot-path microbenchmarks
+    python -m repro bench --quick --output /tmp/b.json  # CI smoke variant
 
 The figure/table subcommands use reduced default workloads so they finish
 in minutes on a laptop; the benchmark suite (``pytest benchmarks/``) is the
@@ -192,6 +194,25 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        build_document,
+        format_table,
+        run_benchmarks,
+        validate_bench_doc,
+        write_bench_json,
+    )
+
+    only = args.only.split(",") if args.only else None
+    results = run_benchmarks(quick=args.quick, only=only)
+    doc = build_document(results, quick=args.quick)
+    validate_bench_doc(doc)
+    write_bench_json(doc, args.output)
+    print(format_table(doc))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -243,6 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number")
     table.add_argument("--frames", type=int, default=240)
     table.set_defaults(func=_cmd_table)
+
+    bench = sub.add_parser(
+        "bench", help="run the hot-path microbenchmarks and write BENCH_micro.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer repeats (CI smoke); same workloads")
+    bench.add_argument("--output", metavar="PATH", default="BENCH_micro.json")
+    bench.add_argument("--only", metavar="NAMES", default=None,
+                       help="comma-separated bench names (default: all)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

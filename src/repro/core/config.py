@@ -36,6 +36,22 @@ class PipelineConfig:
     # within one model are free.  Charged by the pipeline when a policy
     # crosses the family boundary (see repro.core.multimodel).
     model_reload_latency: float = 0.8
+    # Clip-scoped FramePyramid LRU capacity shared across the tracker
+    # generations of one run (0 disables caching).  A hit replaces a full
+    # pyramid + gradient rebuild and is bit-identical to one.
+    pyramid_cache_capacity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pyramid_cache_capacity < 0:
+            raise ValueError("pyramid_cache_capacity must be non-negative")
+
+    def make_pyramid_cache(self):
+        """A fresh per-run cache, or ``None`` when caching is disabled."""
+        from repro.vision.pyramid_cache import PyramidCache
+
+        if self.pyramid_cache_capacity == 0:
+            return None
+        return PyramidCache(capacity=self.pyramid_cache_capacity)
 
     def initial_tracking_fraction(self, fps: float) -> float:
         """First-cycle estimate of the trackable fraction ``p``.

@@ -112,6 +112,7 @@ class MPDTPipeline:
         )
         board = ResultBoard(clip.num_frames)
         activity = ActivityLog()
+        pyramid_cache = cfg.make_pyramid_cache()
         cycles: list[CycleRecord] = []
         velocity_samples: list[tuple[int, float]] = []
         if cfg.fixed_tracking_fraction is not None:
@@ -167,11 +168,6 @@ class MPDTPipeline:
                 # Crossing the full/tiny boundary means loading new weights
                 # (paper §IV-D3's reason for not pre-loading both models).
                 reload_cost = cfg.model_reload_latency
-                obs.record_span(
-                    "mpdt.model_reload", t, t + reload_cost,
-                    from_setting=previous_setting, to_setting=next_setting,
-                )
-                obs.counter("mpdt.model_reloads").inc()
 
             next_frame = source.newest_frame_at(t + reload_cost)
             detect_start = t + reload_cost
@@ -182,6 +178,15 @@ class MPDTPipeline:
                 next_frame = prev_frame + 1
                 detect_start = max(t + reload_cost, source.capture_time(next_frame))
 
+            # Reload and switch telemetry both live *after* the end-of-clip
+            # break: a reload (or switch) decided after the final frame
+            # never runs a cycle, so it must not be recorded or charged.
+            if reload_cost > 0.0:
+                obs.record_span(
+                    "mpdt.model_reload", t, t + reload_cost,
+                    from_setting=previous_setting, to_setting=next_setting,
+                )
+                obs.counter("mpdt.model_reloads").inc()
             if next_setting != previous_setting:
                 # Counted here, not at set_profile: a switch decided after
                 # the last frame never runs a cycle and is not a switch.
@@ -195,6 +200,7 @@ class MPDTPipeline:
             tracker = ObjectTracker(
                 clip.frame, width, height, cfg.tracker,
                 seed=cfg.detector_seed * 1_000_003 + prev_frame,
+                pyramid_cache=pyramid_cache,
             )
             estimator = MotionVelocityEstimator()
             tracker_time = t

@@ -1,0 +1,24 @@
+"""Deterministic microbenchmark layer (``repro bench`` → BENCH_micro.json)."""
+
+from repro.perf.benches import BENCHES, run_benchmarks
+from repro.perf.harness import (
+    BenchResult,
+    Measurement,
+    build_document,
+    format_table,
+    time_callable,
+    validate_bench_doc,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCHES",
+    "BenchResult",
+    "Measurement",
+    "build_document",
+    "format_table",
+    "run_benchmarks",
+    "time_callable",
+    "validate_bench_doc",
+    "write_bench_json",
+]

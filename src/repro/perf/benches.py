@@ -1,0 +1,198 @@
+"""The microbench suite: the four named hot paths of the tracking stack.
+
+Each bench times the live implementation over a seeded workload; the two
+optimised-in-place paths (good-features NMS, Lucas-Kanade iteration) are
+also timed against their frozen pre-PR implementations from
+:mod:`repro.perf.reference`, with an output-equality assertion so the
+recorded speedup is a speedup of the *same computation*.
+
+``quick`` mode shrinks repeats (not workloads) so CI smoke runs finish in
+seconds while timing the identical computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
+from repro.perf import reference, workloads
+from repro.perf.harness import BenchResult, time_callable
+from repro.vision.features import suppress_min_distance
+from repro.vision.optical_flow import FramePyramid, track_features
+from repro.vision.pyramid_cache import PyramidCache
+
+
+def _repeats(quick: bool, full: int, number: int = 1) -> tuple[int, int]:
+    return (3 if quick else full), number
+
+
+def bench_gft_nms(quick: bool) -> BenchResult:
+    """Good-features min-distance suppression (Shi-Tomasi NMS)."""
+    wl = workloads.make_nms_workload()
+    optimized = suppress_min_distance(
+        wl.candidate_xs, wl.candidate_ys, wl.shape, wl.min_distance, wl.max_corners
+    )
+    ref = reference.suppress_min_distance_reference(
+        wl.candidate_xs, wl.candidate_ys, wl.min_distance, wl.max_corners
+    )
+    if not np.array_equal(optimized, ref):
+        raise AssertionError("NMS optimisation diverged from reference output")
+    repeats, number = _repeats(quick, 20, 3)
+    return BenchResult(
+        name="gft_nms",
+        hot_path="repro.vision.features.suppress_min_distance",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "candidates": int(wl.candidate_xs.size),
+            "min_distance": wl.min_distance,
+            "max_corners": wl.max_corners,
+        },
+        optimized=time_callable(
+            lambda: suppress_min_distance(
+                wl.candidate_xs, wl.candidate_ys, wl.shape,
+                wl.min_distance, wl.max_corners,
+            ),
+            repeats, number,
+        ),
+        reference=time_callable(
+            lambda: reference.suppress_min_distance_reference(
+                wl.candidate_xs, wl.candidate_ys, wl.min_distance, wl.max_corners
+            ),
+            repeats, number,
+        ),
+        notes="disk-stamped blocked raster vs. pure-Python occupancy-grid walk",
+    )
+
+
+def bench_lk_track(quick: bool) -> BenchResult:
+    """Pyramidal Lucas-Kanade over prebuilt pyramids."""
+    wl = workloads.make_lk_workload()
+    optimized = track_features(wl.pyramid_a, wl.pyramid_b, wl.points, wl.params)
+    ref = reference.track_features_reference(
+        wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+    )
+    if not (
+        np.array_equal(optimized.points, ref.points)
+        and np.array_equal(optimized.status, ref.status)
+        and np.array_equal(optimized.residual, ref.residual)
+    ):
+        raise AssertionError("LK optimisation diverged from reference output")
+    repeats, number = _repeats(quick, 15)
+    return BenchResult(
+        name="lk_track",
+        hot_path="repro.vision.optical_flow.track_features",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "points": int(wl.points.shape[0]),
+            "frame_gap": 2,
+            "frame_shape": list(wl.frame_a.shape),
+        },
+        optimized=time_callable(
+            lambda: track_features(wl.pyramid_a, wl.pyramid_b, wl.points, wl.params),
+            repeats, 1,
+        ),
+        reference=time_callable(
+            lambda: reference.track_features_reference(
+                wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+            ),
+            repeats, 1,
+        ),
+        notes=(
+            "active-row gathering + shared-coordinate gradient sampling vs. "
+            "full-window resampling every iteration"
+        ),
+    )
+
+
+def bench_pyramid_build(quick: bool) -> BenchResult:
+    """FramePyramid construction (+ gradients) vs. a clip-cache hit.
+
+    The reference is the pre-PR steady state — every tracker generation
+    rebuilds its seed pyramid from the raw frame; the optimised path is a
+    :class:`PyramidCache` hit, which is what a rebuild becomes whenever the
+    run's frame access pattern revisits an index.
+    """
+    wl = workloads.make_lk_workload()
+    levels = wl.params.pyramid_levels
+
+    def build() -> FramePyramid:
+        pyramid = FramePyramid(wl.frame_a, levels)
+        for level in range(pyramid.levels):
+            pyramid.gradients(level)
+        return pyramid
+
+    cache = PyramidCache(capacity=2)
+    provider = lambda _index: wl.frame_a  # noqa: E731 - tiny bench closure
+    cache.get(0, levels, provider)  # prime: every timed get() below is a hit
+
+    def cached() -> FramePyramid:
+        pyramid = cache.get(0, levels, provider)
+        for level in range(pyramid.levels):
+            pyramid.gradients(level)
+        return pyramid
+
+    repeats, number = _repeats(quick, 15)
+    return BenchResult(
+        name="pyramid_build",
+        hot_path="repro.vision.optical_flow.FramePyramid",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "frame_shape": list(wl.frame_a.shape),
+            "levels": levels,
+        },
+        optimized=time_callable(cached, repeats, 1),
+        reference=time_callable(build, repeats, 1),
+        notes="clip-level LRU cache hit vs. full pyramid + gradient rebuild",
+        extra={"cache_hits": cache.hits, "cache_misses": cache.misses},
+    )
+
+
+def bench_mpdt_cycle(quick: bool) -> BenchResult:
+    """Full MPDT pipeline run, reported per detection cycle.
+
+    No frozen reference — this is the end-to-end trend metric the ROADMAP
+    asks every perf PR to move; per-cycle cost folds in detection bookkeeping,
+    seeding, tracking, and frame selection.
+    """
+    num_frames = 60
+    clip = workloads.bench_clip(num_frames=num_frames)
+    pipeline = MPDTPipeline(FixedSettingPolicy(512), config=PipelineConfig())
+    run = pipeline.run(clip)
+    cycles = len(run.cycles)
+    repeats, number = _repeats(quick, 5)
+    measurement = time_callable(lambda: pipeline.run(clip), repeats, 1)
+    # Report per-cycle cost: divide the per-run timing through.
+    measurement.best_s /= cycles
+    measurement.mean_s /= cycles
+    return BenchResult(
+        name="mpdt_cycle",
+        hot_path="repro.core.mpdt.MPDTPipeline.run",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "num_frames": num_frames,
+            "cycles": cycles,
+        },
+        optimized=measurement,
+        notes="wall-clock per detection cycle over a full seeded run",
+    )
+
+
+BENCHES = {
+    "gft_nms": bench_gft_nms,
+    "lk_track": bench_lk_track,
+    "pyramid_build": bench_pyramid_build,
+    "mpdt_cycle": bench_mpdt_cycle,
+}
+
+
+def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> list[BenchResult]:
+    selected = list(BENCHES) if not only else only
+    unknown = [name for name in selected if name not in BENCHES]
+    if unknown:
+        raise ValueError(f"unknown benches: {unknown}; know {sorted(BENCHES)}")
+    return [BENCHES[name](quick) for name in selected]

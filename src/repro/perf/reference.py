@@ -1,0 +1,171 @@
+"""Frozen pre-optimisation copies of the vision hot paths.
+
+These are the implementations the repo shipped *before* the perf pass
+(PR "live-executor races & hot-path perf"): the pure-Python occupancy-grid
+suppression that ``good_features_to_track`` used, and the Lucas-Kanade
+iteration loop that resampled every window on every iteration regardless
+of convergence.
+
+They exist for exactly one purpose: the microbenchmark harness
+(:mod:`repro.perf.benches`) times them against the live implementations
+and records the speedup in ``BENCH_micro.json``, so the perf trajectory
+is measured against a fixed baseline instead of a guess.  They are also
+the oracle for the equivalence tests — the optimised code must reproduce
+their output bit for bit.
+
+Do not "fix" or optimise this module; it is deliberately frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.optical_flow import (
+    FlowResult,
+    FramePyramid,
+    LKParams,
+    _window_grid,
+)
+from repro.vision.image import sample_bilinear
+
+
+def suppress_min_distance_reference(
+    candidate_xs: np.ndarray,
+    candidate_ys: np.ndarray,
+    min_distance: float,
+    max_corners: int,
+) -> np.ndarray:
+    """The seed revision's greedy NMS: a dict-of-cells occupancy grid
+    walked with three nested Python loops per candidate."""
+    cell = max(min_distance, 1.0)
+    grid: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    selected: list[tuple[float, float]] = []
+    min_dist_sq = min_distance * min_distance
+    for x, y in zip(candidate_xs, candidate_ys):
+        gx, gy = int(x // cell), int(y // cell)
+        ok = True
+        for nx in (gx - 1, gx, gx + 1):
+            for ny in (gy - 1, gy, gy + 1):
+                for px, py in grid.get((nx, ny), ()):
+                    if (px - x) ** 2 + (py - y) ** 2 < min_dist_sq:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                break
+        if ok:
+            selected.append((float(x), float(y)))
+            grid.setdefault((gx, gy), []).append((float(x), float(y)))
+            if len(selected) >= max_corners:
+                break
+    return np.asarray(selected, dtype=np.float64).reshape(-1, 2)
+
+
+def track_features_reference(
+    prev_image: np.ndarray | FramePyramid,
+    next_image: np.ndarray | FramePyramid,
+    points: np.ndarray,
+    params: LKParams | None = None,
+) -> FlowResult:
+    """The seed revision's ``track_features``: every Gauss-Newton iteration
+    resamples and solves all N windows, converged or not."""
+    params = params or LKParams()
+    if not isinstance(prev_image, FramePyramid):
+        prev_image = FramePyramid(prev_image, params.pyramid_levels)
+    if not isinstance(next_image, FramePyramid):
+        next_image = FramePyramid(next_image, params.pyramid_levels)
+    if prev_image.shape != next_image.shape:
+        raise ValueError("frame shapes differ")
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    n = points.shape[0]
+    if n == 0:
+        return FlowResult(
+            points=np.zeros((0, 2)),
+            status=np.zeros(0, dtype=bool),
+            residual=np.zeros(0),
+        )
+
+    prev_pyr = prev_image.images
+    next_pyr = next_image.images
+    levels = min(prev_image.levels, next_image.levels)
+
+    dx, dy = _window_grid(params.window_radius)
+    window_area = dx.size
+
+    flow = np.zeros((n, 2), dtype=np.float64)
+    status = np.ones(n, dtype=bool)
+    residual = np.full(n, np.inf, dtype=np.float64)
+
+    for level in range(levels - 1, -1, -1):
+        prev_l = prev_pyr[level]
+        next_l = next_pyr[level]
+        grad_x, grad_y = prev_image.gradients(level)
+        scale = 0.5**level
+        pts_l = points * scale
+        h, w = prev_l.shape
+
+        wx = pts_l[:, 0, None, None] + dx[None]
+        wy = pts_l[:, 1, None, None] + dy[None]
+
+        in_bounds = (
+            (pts_l[:, 0] >= params.window_radius)
+            & (pts_l[:, 0] <= w - 1 - params.window_radius)
+            & (pts_l[:, 1] >= params.window_radius)
+            & (pts_l[:, 1] <= h - 1 - params.window_radius)
+        )
+
+        patch_prev = sample_bilinear(prev_l, wx, wy)
+        ix = sample_bilinear(grad_x, wx, wy)
+        iy = sample_bilinear(grad_y, wx, wy)
+
+        gxx = np.einsum("nij,nij->n", ix, ix)
+        gxy = np.einsum("nij,nij->n", ix, iy)
+        gyy = np.einsum("nij,nij->n", iy, iy)
+        trace_half = (gxx + gyy) / 2.0
+        disc = np.sqrt(np.maximum(((gxx - gyy) / 2.0) ** 2 + gxy * gxy, 0.0))
+        min_eigen = (trace_half - disc) / window_area
+        det = gxx * gyy - gxy * gxy
+
+        solvable = in_bounds & (min_eigen > params.min_eigen_threshold) & (det > 1e-12)
+        if level == 0:
+            status &= solvable
+        det_safe = np.where(det > 1e-12, det, 1.0)
+
+        v = np.zeros((n, 2), dtype=np.float64)
+        active = solvable.copy()
+        for _ in range(params.max_iterations):
+            if not active.any():
+                break
+            qx = wx + (flow[:, 0] + v[:, 0])[:, None, None]
+            qy = wy + (flow[:, 1] + v[:, 1])[:, None, None]
+            patch_next = sample_bilinear(next_l, qx, qy)
+            diff = patch_prev - patch_next
+            bx = np.einsum("nij,nij->n", diff, ix)
+            by = np.einsum("nij,nij->n", diff, iy)
+            dvx = (gyy * bx - gxy * by) / det_safe
+            dvy = (gxx * by - gxy * bx) / det_safe
+            step = np.where(active[:, None], np.stack([dvx, dvy], axis=1), 0.0)
+            v += step
+            active &= np.hypot(step[:, 0], step[:, 1]) >= params.epsilon
+
+        flow = np.where(solvable[:, None], flow + v, flow)
+
+        if level == 0:
+            qx = wx + flow[:, 0][:, None, None]
+            qy = wy + flow[:, 1][:, None, None]
+            patch_next = sample_bilinear(next_l, qx, qy)
+            residual = np.abs(patch_prev - patch_next).mean(axis=(1, 2))
+        else:
+            flow *= 2.0
+
+    new_points = points + flow
+    h0, w0 = prev_pyr[0].shape
+    inside = (
+        (new_points[:, 0] >= 0)
+        & (new_points[:, 0] <= w0 - 1)
+        & (new_points[:, 1] >= 0)
+        & (new_points[:, 1] <= h0 - 1)
+    )
+    status = status & inside & (residual <= params.max_residual)
+    return FlowResult(points=new_points, status=status, residual=residual)

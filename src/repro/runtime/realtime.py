@@ -43,6 +43,50 @@ from repro.tracking.tracker import ObjectTracker
 from repro.video.dataset import VideoClip
 
 
+@dataclass(frozen=True, slots=True)
+class DetectionSnapshot:
+    """One detector result, published to the tracker as an immutable unit.
+
+    ``frame`` and ``detections`` always belong together: the tracker must
+    never seed from frame *i+1* paired with frame *i*'s boxes, which is
+    exactly what a field-by-field read of a shared dict allowed.
+    """
+
+    frame: int
+    detections: tuple
+
+
+class DetectionHandoff:
+    """Lock-guarded detector → tracker handoff (and velocity back-channel).
+
+    The detector swaps in a whole :class:`DetectionSnapshot` atomically;
+    the tracker reads the whole snapshot atomically.  The tracker's
+    measured content-change velocity travels the reverse direction through
+    the same lock, so the detector's policy input can never interleave
+    with a concurrent publish.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshot: DetectionSnapshot | None = None
+        self._measured_velocity: float | None = None
+
+    def publish(self, frame: int, detections) -> float | None:
+        """Swap in a new snapshot; returns the latest measured velocity."""
+        snapshot = DetectionSnapshot(frame=frame, detections=tuple(detections))
+        with self._lock:
+            self._snapshot = snapshot
+            return self._measured_velocity
+
+    def snapshot(self) -> DetectionSnapshot | None:
+        with self._lock:
+            return self._snapshot
+
+    def report_velocity(self, velocity: float) -> None:
+        with self._lock:
+            self._measured_velocity = velocity
+
+
 @dataclass
 class LiveRunStats:
     """Counters the live executor reports after a run."""
@@ -97,10 +141,11 @@ class LiveExecutor:
 
         # Shared detector->tracker handoff, guarded by a lock + event (the
         # paper's "event" communication between threads).
-        latest_detection: dict = {}
+        handoff = DetectionHandoff()
         detection_ready = threading.Event()
         camera_done = threading.Event()
         detector_done = threading.Event()
+        pyramid_cache = cfg.make_pyramid_cache()
 
         def now() -> float:
             return (time.monotonic() - start) / self.time_scale
@@ -113,7 +158,6 @@ class LiveExecutor:
                 if delay > 0:
                     time.sleep(delay)
                 buffer.push(index, clip.frame(index))
-            camera_done.set()
 
         def detector_thread() -> None:
             velocity: float | None = None
@@ -151,14 +195,10 @@ class LiveExecutor:
                 stats.profile_usage[result.profile_name] = (
                     stats.profile_usage.get(result.profile_name, 0) + 1
                 )
-                latest_detection["frame"] = index
-                latest_detection["detections"] = result.detections
+                velocity = handoff.publish(index, result.detections)
                 detection_ready.set()
-                velocity = latest_detection.get("measured_velocity")
                 if camera_done.is_set() and buffer.newest_index() == index:
                     break
-            detector_done.set()
-            detection_ready.set()  # unblock the tracker for shutdown
 
         def tracker_thread() -> None:
             latency = cfg.latency
@@ -166,16 +206,18 @@ class LiveExecutor:
                 if not detection_ready.wait(timeout=2.0):
                     continue
                 detection_ready.clear()
-                if "frame" not in latest_detection:
+                snapshot = handoff.snapshot()
+                if snapshot is None:
                     continue
-                seed_frame = latest_detection["frame"]
-                detections = latest_detection["detections"]
+                seed_frame = snapshot.frame
+                detections = snapshot.detections
                 tracker = ObjectTracker(
                     clip.frame,
                     clip.config.frame_width,
                     clip.config.frame_height,
                     cfg.tracker,
                     seed=cfg.detector_seed * 1_000_003 + seed_frame,
+                    pyramid_cache=pyramid_cache,
                 )
                 with obs.span("live.seed_features", frame=seed_frame):
                     tracker.initialize(seed_frame, detections)
@@ -216,14 +258,40 @@ class LiveExecutor:
                     stats.cancelled_tracking_tasks += 1
                     obs.counter("live.cancelled_tracking_tasks").inc()
                 if velocities:
-                    latest_detection["measured_velocity"] = float(
-                        sum(velocities) / len(velocities)
-                    )
+                    handoff.report_velocity(float(sum(velocities) / len(velocities)))
+
+        # Worker exceptions must neither vanish nor leave the other threads
+        # blocked on an event that will now never be set (a dead camera
+        # thread used to hang the run until the join watchdog).  Each wrapper
+        # records the failure and then signals its completion events exactly
+        # as a clean exit would, so the remaining threads wind down.
+        failures: list[tuple[str, BaseException]] = []
+        failures_lock = threading.Lock()
+
+        def supervised(name, target, completion_events) -> None:
+            try:
+                target()
+            except BaseException as exc:
+                with failures_lock:
+                    failures.append((name, exc))
+            finally:
+                for event in completion_events:
+                    event.set()
 
         threads = [
-            threading.Thread(target=camera_thread, name="camera"),
-            threading.Thread(target=detector_thread, name="detector"),
-            threading.Thread(target=tracker_thread, name="tracker"),
+            threading.Thread(
+                target=supervised,
+                args=("camera", camera_thread, (camera_done,)),
+                name="camera",
+            ),
+            threading.Thread(
+                target=supervised,
+                args=("detector", detector_thread, (detector_done, detection_ready)),
+                name="detector",
+            ),
+            threading.Thread(
+                target=supervised, args=("tracker", tracker_thread, ()), name="tracker"
+            ),
         ]
         for thread in threads:
             thread.start()
@@ -231,6 +299,11 @@ class LiveExecutor:
             thread.join(timeout=120.0)
             if thread.is_alive():  # pragma: no cover - watchdog
                 raise RuntimeError(f"{thread.name} thread failed to finish")
+        if failures:
+            # Re-raise the first worker failure in the caller's thread.
+            # (add_note would name the thread, but it needs Python 3.11.)
+            _, exc = failures[0]
+            raise exc
 
         stats.dropped_frames = buffer.dropped
         return board.finalize(), stats

@@ -30,6 +30,7 @@ from repro.tracking.motion import motion_velocity
 from repro.vision.fast import fast_corners
 from repro.vision.features import good_features_to_track
 from repro.vision.optical_flow import FramePyramid, LKParams, track_features
+from repro.vision.pyramid_cache import PyramidCache
 
 FrameProvider = Callable[[int], np.ndarray]
 
@@ -144,11 +145,18 @@ class ObjectTracker:
         frame_height: int,
         config: TrackerConfig | None = None,
         seed: int = 0,
+        pyramid_cache: PyramidCache | None = None,
     ) -> None:
         self._frames = frame_provider
         self.frame_width = frame_width
         self.frame_height = frame_height
         self.config = config or TrackerConfig()
+        # Optional clip-scoped cache shared across tracker generations: the
+        # pipeline re-seeds a fresh ObjectTracker every detection cycle, and
+        # without the cache each generation rebuilds pyramids the previous
+        # one already built.  Must only be shared between trackers reading
+        # the same clip (keys are frame indices).
+        self._pyramid_cache = pyramid_cache
         self._rng = np.random.default_rng(np.random.SeedSequence(entropy=seed))
         self._objects: list[_TrackedObject] = []
         self._points = np.zeros((0, 2), dtype=np.float64)
@@ -197,10 +205,16 @@ class ObjectTracker:
         corners = corners + np.asarray([cols.start, rows.start], dtype=np.float64)
         return corners
 
+    def _build_pyramid(self, frame_index: int) -> FramePyramid:
+        levels = self.config.lk.pyramid_levels
+        if self._pyramid_cache is None:
+            return FramePyramid(self._frames(frame_index), levels)
+        return self._pyramid_cache.get(frame_index, levels, self._frames)
+
     def initialize(self, frame_index: int, detections: Sequence[Detection]) -> None:
         """Seed the tracker with the detector's output for ``frame_index``."""
         frame = self._frames(frame_index)
-        self._pyramid = FramePyramid(frame, self.config.lk.pyramid_levels)
+        self._pyramid = self._build_pyramid(frame_index)
         self._frame_index = frame_index
         self._objects = []
         points: list[np.ndarray] = []
@@ -252,8 +266,7 @@ class ObjectTracker:
             raise ValueError(
                 f"can only track forwards: at {self._frame_index}, asked {frame_index}"
             )
-        frame = self._frames(frame_index)
-        next_pyramid = FramePyramid(frame, self.config.lk.pyramid_levels)
+        next_pyramid = self._build_pyramid(frame_index)
 
         velocity: float | None = None
         if self._points.shape[0] > 0:

@@ -22,10 +22,16 @@ from repro.vision.image import (
     pyramid_down,
     build_pyramid,
     sample_bilinear,
+    sample_bilinear_pair,
 )
-from repro.vision.features import good_features_to_track, shi_tomasi_response
+from repro.vision.features import (
+    good_features_to_track,
+    shi_tomasi_response,
+    suppress_min_distance,
+)
 from repro.vision.fast import fast_corners, fast_response
 from repro.vision.optical_flow import FlowResult, FramePyramid, LKParams, track_features
+from repro.vision.pyramid_cache import PyramidCache
 
 __all__ = [
     "gaussian_blur",
@@ -33,7 +39,9 @@ __all__ = [
     "pyramid_down",
     "build_pyramid",
     "sample_bilinear",
+    "sample_bilinear_pair",
     "good_features_to_track",
+    "suppress_min_distance",
     "shi_tomasi_response",
     "fast_corners",
     "fast_response",
@@ -41,4 +49,5 @@ __all__ = [
     "FramePyramid",
     "LKParams",
     "track_features",
+    "PyramidCache",
 ]

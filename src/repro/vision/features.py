@@ -82,28 +82,56 @@ def good_features_to_track(
     candidate_xs = candidate_xs[order]
     candidate_ys = candidate_ys[order]
 
-    # Greedy min-distance suppression on a coarse occupancy grid: a point is
-    # accepted only if no already-accepted point lies within min_distance.
-    cell = max(min_distance, 1.0)
-    grid: dict[tuple[int, int], list[tuple[float, float]]] = {}
-    selected: list[tuple[float, float]] = []
+    return suppress_min_distance(
+        candidate_xs, candidate_ys, image.shape, min_distance, max_corners
+    )
+
+
+def _disk_offsets(min_distance: float) -> tuple[np.ndarray, np.ndarray]:
+    """Integer offsets ``(dx, dy)`` with ``dx² + dy² < min_distance²``."""
     min_dist_sq = min_distance * min_distance
-    for x, y in zip(candidate_xs, candidate_ys):
-        gx, gy = int(x // cell), int(y // cell)
-        ok = True
-        for nx in (gx - 1, gx, gx + 1):
-            for ny in (gy - 1, gy, gy + 1):
-                for px, py in grid.get((nx, ny), ()):
-                    if (px - x) ** 2 + (py - y) ** 2 < min_dist_sq:
-                        ok = False
-                        break
-                if not ok:
-                    break
-            if not ok:
-                break
-        if ok:
-            selected.append((float(x), float(y)))
-            grid.setdefault((gx, gy), []).append((float(x), float(y)))
-            if len(selected) >= max_corners:
-                break
+    radius = int(np.sqrt(max(min_dist_sq - 1e-9, 0.0)))
+    offs = np.arange(-radius, radius + 1, dtype=np.intp)
+    dx, dy = np.meshgrid(offs, offs)
+    inside = dx * dx + dy * dy < min_dist_sq
+    return dx[inside], dy[inside]
+
+
+def suppress_min_distance(
+    candidate_xs: np.ndarray,
+    candidate_ys: np.ndarray,
+    shape: tuple[int, int],
+    min_distance: float,
+    max_corners: int,
+) -> np.ndarray:
+    """Greedy min-distance suppression, strongest (= earliest) first.
+
+    Candidates are integer pixel coordinates ordered by descending score; a
+    candidate is accepted only if no already-accepted point lies strictly
+    within ``min_distance``.  Because coordinates are integral, "within
+    min_distance of an accepted point" is exactly "inside the integer disk
+    stamped around it", so each acceptance stamps a disk on a blocked
+    raster and each rejection is a single lookup — the selection is
+    identical to pairwise distance checks, without the per-candidate
+    Python-level neighbour walk.
+    """
+    disk_dx, disk_dy = _disk_offsets(min_distance)
+    h, w = shape
+    blocked = np.zeros(shape, dtype=bool)
+    remaining = np.arange(candidate_xs.size, dtype=np.intp)
+    selected: list[tuple[float, float]] = []
+    while remaining.size and len(selected) < max_corners:
+        free = ~blocked[candidate_ys[remaining], candidate_xs[remaining]]
+        remaining = remaining[free]
+        if remaining.size == 0:
+            break
+        first = remaining[0]
+        x = int(candidate_xs[first])
+        y = int(candidate_ys[first])
+        selected.append((float(x), float(y)))
+        px = x + disk_dx
+        py = y + disk_dy
+        inside = (px >= 0) & (px < w) & (py >= 0) & (py < h)
+        blocked[py[inside], px[inside]] = True
+        remaining = remaining[1:]
     return np.asarray(selected, dtype=np.float64).reshape(-1, 2)

@@ -18,7 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.vision.image import build_pyramid, image_gradients, sample_bilinear  # noqa: F401 (image_gradients used by FramePyramid)
+from repro.vision.image import (  # noqa: F401 (image_gradients used by FramePyramid)
+    build_pyramid,
+    image_gradients,
+    sample_bilinear,
+    sample_bilinear_pair,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +54,13 @@ class LKParams:
             raise ValueError("max_iterations must be >= 1")
         if self.epsilon <= 0:
             raise ValueError("epsilon must be positive")
+        if self.min_eigen_threshold <= 0:
+            raise ValueError("min_eigen_threshold must be positive")
+        # A non-positive residual ceiling silently marks every tracked point
+        # lost, which reads as "fast content" and pins the adaptation policy
+        # at its smallest setting.
+        if self.max_residual <= 0:
+            raise ValueError("max_residual must be positive")
 
 
 class FramePyramid:
@@ -165,8 +177,9 @@ def track_features(
         )
 
         patch_prev = sample_bilinear(prev_l, wx, wy)
-        ix = sample_bilinear(grad_x, wx, wy)
-        iy = sample_bilinear(grad_y, wx, wy)
+        # Both gradient images are sampled at identical coordinates; the
+        # pair variant shares one coordinate pass between them.
+        ix, iy = sample_bilinear_pair(grad_x, grad_y, wx, wy)
 
         gxx = np.einsum("nij,nij->n", ix, ix)
         gxy = np.einsum("nij,nij->n", ix, iy)
@@ -191,17 +204,28 @@ def track_features(
         for _ in range(params.max_iterations):
             if not active.any():
                 break
-            qx = wx + (flow[:, 0] + v[:, 0])[:, None, None]
-            qy = wy + (flow[:, 1] + v[:, 1])[:, None, None]
+            # Gather only the rows still iterating: once a point converges
+            # its window never needs resampling again, and convergence is
+            # front-loaded (most points stop within a few iterations), so
+            # the tail iterations touch a small fraction of N.  Per-row
+            # arithmetic is unchanged, so results are bit-identical to the
+            # all-rows formulation.  When every row is active the gather
+            # copy is skipped entirely.
+            if active.all():
+                rows = slice(None)
+            else:
+                rows = np.nonzero(active)[0]
+            qx = wx[rows] + (flow[rows, 0] + v[rows, 0])[:, None, None]
+            qy = wy[rows] + (flow[rows, 1] + v[rows, 1])[:, None, None]
             patch_next = sample_bilinear(next_l, qx, qy)
-            diff = patch_prev - patch_next
-            bx = np.einsum("nij,nij->n", diff, ix)
-            by = np.einsum("nij,nij->n", diff, iy)
-            dvx = (gyy * bx - gxy * by) / det_safe
-            dvy = (gxx * by - gxy * bx) / det_safe
-            step = np.where(active[:, None], np.stack([dvx, dvy], axis=1), 0.0)
-            v += step
-            active &= np.hypot(step[:, 0], step[:, 1]) >= params.epsilon
+            diff = patch_prev[rows] - patch_next
+            bx = np.einsum("nij,nij->n", diff, ix[rows])
+            by = np.einsum("nij,nij->n", diff, iy[rows])
+            dvx = (gyy[rows] * bx - gxy[rows] * by) / det_safe[rows]
+            dvy = (gxx[rows] * by - gxy[rows] * bx) / det_safe[rows]
+            v[rows, 0] += dvx
+            v[rows, 1] += dvy
+            active[rows] = np.hypot(dvx, dvy) >= params.epsilon
 
         flow = np.where(solvable[:, None], flow + v, flow)
 

@@ -1,0 +1,77 @@
+"""Clip-scoped LRU cache of :class:`FramePyramid` objects.
+
+Pyramid construction (Gaussian blur + subsample per level, plus the
+lazily-computed Scharr gradients) is the fixed per-frame cost of the
+tracking hot path.  Within one pipeline run the same frame's pyramid is
+requested more than once — most visibly in the live executor, where a
+tracking task often steps onto the very frame whose detection then seeds
+the next task — and benchmark/experiment code replays the same clip
+repeatedly.  Caching by frame index is safe because a clip's frames are a
+pure function of the index, and a :class:`FramePyramid` is immutable
+apart from its internal gradient memoisation (which is itself a pure
+function of the pyramid images), so a cache hit is bit-identical to a
+rebuild.
+
+One cache instance must only ever serve one clip: the key is the frame
+*index*, not the frame content.  The pipelines create a fresh cache per
+run.  ``get`` is thread-safe (the live executor shares a cache across
+sequential tracker generations while other threads run), though a
+concurrent miss on the same key may build the pyramid twice — harmless,
+since both builds are identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.vision.optical_flow import FramePyramid
+
+
+class PyramidCache:
+    """LRU cache mapping ``(frame_index, levels)`` to a built pyramid."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, int], FramePyramid] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self,
+        frame_index: int,
+        levels: int,
+        frame_provider: Callable[[int], np.ndarray],
+    ) -> FramePyramid:
+        """The pyramid for ``frame_index``, building it on a miss."""
+        key = (frame_index, levels)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        # Build outside the lock: construction is the expensive part and
+        # must not serialise against readers of other keys.
+        pyramid = FramePyramid(frame_provider(frame_index), levels)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = pyramid
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return pyramid
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

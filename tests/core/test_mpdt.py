@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline, _model_family
+from repro.obs import InMemorySink, Telemetry
 from repro.runtime.simulator import SOURCE_DETECTOR, SOURCE_TRACKER
 
 
@@ -117,6 +118,60 @@ class TestDeterminism:
             tiny_clip
         )
         assert [r.detections for r in a.results] != [r.detections for r in b.results]
+
+
+class _AlternatingFamilyPolicy:
+    """Flips between the full and tiny model family on every decision, so
+    every loop iteration of the pipeline decides a reload — including the
+    final decision taken after the last frame, which must NOT be counted."""
+
+    def initial(self) -> str:
+        return "yolov3-512"
+
+    def next_setting(self, velocity, current: str) -> str:
+        return "yolov3-tiny-320" if _model_family(current) == "full" else "yolov3-512"
+
+
+class TestReloadTelemetryReconciliation:
+    @pytest.fixture(scope="class")
+    def reload_run(self, tiny_clip):
+        obs = Telemetry(InMemorySink())
+        run = MPDTPipeline(_AlternatingFamilyPolicy(), obs=obs).run(tiny_clip)
+        obs.flush()
+        return run, obs
+
+    def test_reloads_match_cycles_that_ran(self, reload_run):
+        """Every cycle after the bootstrap crossed the family boundary, so
+        the reload count must be exactly cycles-1 — the seed revision also
+        recorded the reload decided *after* the final frame (one extra)."""
+        run, obs = reload_run
+        crossings = sum(
+            _model_family(a.profile_name) != _model_family(b.profile_name)
+            for a, b in zip(run.cycles, run.cycles[1:])
+        )
+        assert crossings == len(run.cycles) - 1  # policy really alternated
+        assert obs.metrics.find("mpdt.model_reloads").value == crossings
+
+    def test_reload_spans_match_counter(self, reload_run):
+        run, obs = reload_run
+        spans = obs.sink.spans_named("mpdt.model_reload")
+        assert len(spans) == obs.metrics.find("mpdt.model_reloads").value
+        # Each recorded reload belongs to a cycle that actually detected:
+        # its window ends at/before that cycle's detection starts.
+        detect_starts = sorted(c.detect_start for c in run.cycles)
+        for span in spans:
+            assert any(span.end <= start + 1e-9 for start in detect_starts)
+
+    def test_switches_not_counted_past_clip_end(self, reload_run):
+        run, obs = reload_run
+        assert obs.metrics.find("mpdt.switches").value == len(run.cycles) - 1
+
+    def test_fixed_policy_records_no_reloads(self, tiny_clip):
+        obs = Telemetry(InMemorySink())
+        MPDTPipeline(FixedSettingPolicy(512), obs=obs).run(tiny_clip)
+        obs.flush()
+        assert obs.metrics.find("mpdt.model_reloads") is None
+        assert obs.metrics.find("mpdt.switches") is None
 
 
 class TestSettingsDifferences:

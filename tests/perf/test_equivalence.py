@@ -1,0 +1,67 @@
+"""The optimisation contract: bit-identical output vs the frozen pre-PR
+implementations, on the bench workloads and on off-nominal variants.
+
+The golden-trace digests (tests/integration/test_golden_trace.py) pin the
+full pipelines; these tests localise the same guarantee to the two
+rewritten kernels, so a future regression points at the kernel and not at
+"some digest changed"."""
+
+import numpy as np
+import pytest
+
+from repro.perf import reference, workloads
+from repro.vision.features import suppress_min_distance
+from repro.vision.optical_flow import LKParams, track_features
+
+
+class TestNMSEquivalence:
+    @pytest.mark.parametrize(
+        "min_distance, max_corners",
+        [(4.0, 100), (3.0, 100), (7.5, 40), (1.0, 500), (4.0, 10_000)],
+    )
+    def test_matches_reference_selection(self, min_distance, max_corners):
+        wl = workloads.make_nms_workload(
+            min_distance=min_distance, max_corners=max_corners
+        )
+        optimized = suppress_min_distance(
+            wl.candidate_xs, wl.candidate_ys, wl.shape, min_distance, max_corners
+        )
+        expected = reference.suppress_min_distance_reference(
+            wl.candidate_xs, wl.candidate_ys, min_distance, max_corners
+        )
+        assert np.array_equal(optimized, expected)
+
+    def test_empty_candidates(self):
+        empty = np.array([], dtype=np.intp)
+        out = suppress_min_distance(empty, empty, (32, 32), 4.0, 10)
+        assert out.shape == (0, 2)
+
+
+class TestLKEquivalence:
+    @pytest.mark.parametrize(
+        "num_points, frame_gap, params",
+        [
+            (300, 2, None),  # the bench workload itself
+            (60, 1, None),
+            (120, 4, None),  # larger motion -> more early deactivations
+            (80, 2, LKParams(pyramid_levels=1)),
+            (80, 2, LKParams(max_iterations=3)),
+        ],
+    )
+    def test_bitwise_identical_flow(self, num_points, frame_gap, params):
+        wl = workloads.make_lk_workload(
+            num_points=num_points, frame_gap=frame_gap, params=params
+        )
+        optimized = track_features(wl.pyramid_a, wl.pyramid_b, wl.points, wl.params)
+        expected = reference.track_features_reference(
+            wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+        )
+        assert np.array_equal(optimized.points, expected.points)
+        assert np.array_equal(optimized.status, expected.status)
+        assert np.array_equal(optimized.residual, expected.residual)
+
+    def test_no_points(self):
+        wl = workloads.make_lk_workload(num_points=40)
+        empty = np.zeros((0, 2), dtype=np.float64)
+        result = track_features(wl.pyramid_a, wl.pyramid_b, empty, wl.params)
+        assert result.points.shape == (0, 2)

@@ -8,6 +8,7 @@ always in agreement with the ``buffer.dropped`` telemetry counter.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -15,7 +16,7 @@ import pytest
 from repro.core.mpdt import FixedSettingPolicy
 from repro.obs import InMemorySink, Telemetry
 from repro.runtime.buffer import FrameBuffer
-from repro.runtime.realtime import LiveExecutor
+from repro.runtime.realtime import DetectionHandoff, LiveExecutor
 from repro.video.dataset import make_clip
 
 JOIN_TIMEOUT = 30.0
@@ -96,6 +97,104 @@ class TestFrameBufferStress:
         buffer.push(2, np.zeros(1))
         assert buffer.oldest_index() == 1
         assert buffer.newest_index() == 2
+
+
+class TestDetectionHandoffStress:
+    """The race the seed revision had: the tracker could read frame *i+1*
+    paired with frame *i*'s boxes from the shared dict.  The handoff swaps
+    whole snapshots, so under arbitrary interleaving a reader must only
+    ever observe (frame, detections) pairs that some publisher wrote
+    together."""
+
+    N_PUBLISHES = 2_000
+    N_READERS = 4
+
+    def test_snapshots_are_never_torn(self):
+        handoff = DetectionHandoff()
+        stop = threading.Event()
+        errors: list[Exception] = []
+        returned_velocities: list[float] = []
+
+        def publisher():
+            try:
+                for frame in range(self.N_PUBLISHES):
+                    # Detections encode their frame; a torn read would pair
+                    # one frame number with another frame's payload.
+                    velocity = handoff.publish(frame, (frame, frame, frame))
+                    if velocity is not None:
+                        returned_velocities.append(velocity)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshot = handoff.snapshot()
+                    if snapshot is None:
+                        continue
+                    assert snapshot.detections == (snapshot.frame,) * 3
+                    handoff.report_velocity(float(snapshot.frame))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publisher, name="publisher")] + [
+            threading.Thread(target=reader, name=f"reader-{i}")
+            for i in range(self.N_READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        _join_all(threads)
+        assert not errors, errors
+        final = handoff.snapshot()
+        assert final is not None and final.frame == self.N_PUBLISHES - 1
+        # The velocity back-channel only ever hands back reported values.
+        assert all(0 <= v < self.N_PUBLISHES for v in returned_velocities)
+
+    def test_publish_returns_latest_reported_velocity(self):
+        handoff = DetectionHandoff()
+        assert handoff.publish(0, ()) is None
+        handoff.report_velocity(2.5)
+        assert handoff.publish(1, ()) == 2.5
+        handoff.report_velocity(7.0)
+        assert handoff.publish(2, ()) == 7.0
+
+
+class _ExplodingClip:
+    """Delegates to a real clip but raises from ``frame`` past a cutoff —
+    the shape of a camera/decoder fault inside a worker thread."""
+
+    def __init__(self, clip, explode_at: int):
+        self._clip = clip
+        self._explode_at = explode_at
+
+    def __getattr__(self, name):
+        return getattr(self._clip, name)
+
+    def frame(self, index: int):
+        if index >= self._explode_at:
+            raise RuntimeError("simulated camera fault")
+        return self._clip.frame(index)
+
+
+class TestWorkerFailurePropagation:
+    def test_worker_exception_reraised_promptly(self):
+        """A crashing worker used to vanish (daemonless thread dies, run()
+        blocks on events the dead thread will never set, then the 120 s
+        watchdog fires).  Now the supervisor re-raises the worker's own
+        exception after a clean wind-down."""
+        clip = _ExplodingClip(
+            make_clip("intersection", seed=3, num_frames=80), explode_at=10
+        )
+        executor = LiveExecutor(
+            FixedSettingPolicy(512), time_scale=0.2, buffer_capacity=8
+        )
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="simulated camera fault"):
+            executor.run(clip)
+        # Well under the join watchdog: peers wound down via their events.
+        assert time.monotonic() - started < JOIN_TIMEOUT
 
 
 class TestLiveExecutorTelemetry:

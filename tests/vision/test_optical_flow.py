@@ -132,8 +132,17 @@ class TestParams:
             {"pyramid_levels": 0},
             {"max_iterations": 0},
             {"epsilon": 0.0},
+            {"max_residual": 0.0},
+            {"max_residual": -1.0},
+            {"min_eigen_threshold": 0.0},
+            {"min_eigen_threshold": -1e-6},
         ],
     )
     def test_invalid_params_rejected(self, kwargs):
         with pytest.raises(ValueError):
             LKParams(**kwargs)
+
+    def test_positive_thresholds_accepted(self):
+        params = LKParams(max_residual=0.5, min_eigen_threshold=1e-8)
+        assert params.max_residual == 0.5
+        assert params.min_eigen_threshold == 1e-8
