@@ -9,9 +9,11 @@ Usage::
     python -m repro obs mpdt-512 --scenario racetrack  # telemetry summary
     python -m repro compare --scenario city_street    # AdaVP vs baselines
     python -m repro fig 6                            # regenerate a paper figure
-    python -m repro table 3                          # regenerate a paper table
+    python -m repro fig 6 --jobs 4                   # ... on a process pool
+    python -m repro table 3 --jobs 4                 # regenerate a paper table
     python -m repro bench                            # hot-path microbenchmarks
     python -m repro bench --quick --output /tmp/b.json  # CI smoke variant
+    python -m repro macrobench --jobs 4              # sweep-engine macro-bench
 
 The figure/table subcommands use reduced default workloads so they finish
 in minutes on a laptop; the benchmark suite (``pytest benchmarks/``) is the
@@ -74,6 +76,8 @@ def _build_telemetry(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry, jsonl = _build_telemetry(args)
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
+    if telemetry is not None:
+        clip.renderer.set_obs(telemetry)
     method = make_method(args.method, obs=telemetry)
     run = run_method_on_clip(method, clip)
     accuracy, f1 = evaluate_run(run, clip)
@@ -103,6 +107,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     sink = InMemorySink()
     telemetry = Telemetry(sink)
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
+    clip.renderer.set_obs(telemetry)
     run = run_method_on_clip(make_method(args.method, obs=telemetry), clip)
     telemetry.flush()
     counts = run.source_counts()
@@ -121,16 +126,26 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(done: int, total: int, result) -> None:
+    status = "ok" if result.ok else "FAILED"
+    print(f"[{done}/{total}] {result.method} × {result.clip_name}: {status}",
+          file=sys.stderr)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
+    from repro.parallel import run_sweep
+    from repro.video.dataset import VideoSuite
 
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
-    rows = []
-    for name in ("adavp", "mpdt-512", "mpdt-608", "marlin-512", "no-tracking-512"):
-        run = run_method_on_clip(make_method(name), clip)
-        accuracy, f1 = evaluate_run(run, clip)
-        rows.append((name, accuracy, float(f1.mean())))
-        print(f"ran {name}", file=sys.stderr)
+    methods = ("adavp", "mpdt-512", "mpdt-608", "marlin-512", "no-tracking-512")
+    suite = VideoSuite(name="compare", clips=[clip])
+    sweep = run_sweep(methods, suite, jobs=args.jobs, progress=_progress_printer)
+    sweep.raise_if_failed()
+    rows = [
+        (name, sweep.results[name].accuracy, sweep.results[name].mean_f1)
+        for name in methods
+    ]
     print(format_table(f"Comparison on {clip.name}", ("method", "accuracy", "mean_F1"), rows))
     return 0
 
@@ -159,19 +174,19 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         if args.number == "6":
             from repro.experiments.fig6_overall import run
 
-            print(run(suite=suite).report())
+            print(run(suite=suite, jobs=args.jobs, progress=_progress_printer).report())
         elif args.number in ("7", "8"):
             from repro.experiments.fig7_fig8_adaptation import run
 
-            print(run(suite=suite).report())
+            print(run(suite=suite, jobs=args.jobs).report())
         elif args.number == "10":
             from repro.experiments.fig10_fig11_thresholds import run_fig10
 
-            print(run_fig10(suite=suite).report())
+            print(run_fig10(suite=suite, jobs=args.jobs).report())
         else:
             from repro.experiments.fig10_fig11_thresholds import run_fig11
 
-            print(run_fig11(suite=suite).report())
+            print(run_fig11(suite=suite, jobs=args.jobs).report())
         return 0
     print(f"unknown figure {args.number!r}; know 1, 2, 5, 6, 7, 8, 9, 10, 11",
           file=sys.stderr)
@@ -182,13 +197,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == "2":
         from repro.experiments.table2_latency import run
 
-        print(run().report())
+        print(run(jobs=args.jobs).report())
         return 0
     if args.number == "3":
         from repro.experiments.table3_energy import run
         from repro.experiments.workloads import evaluation_suite
 
-        print(run(suite=evaluation_suite(frames=args.frames)).report())
+        print(run(suite=evaluation_suite(frames=args.frames), jobs=args.jobs).report())
         return 0
     print(f"unknown table {args.number!r}; know 2 and 3", file=sys.stderr)
     return 2
@@ -209,6 +224,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     validate_bench_doc(doc)
     write_bench_json(doc, args.output)
     print(format_table(doc))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_macrobench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        format_macro_table,
+        run_macro_benchmark,
+        validate_macro_doc,
+        write_bench_json,
+    )
+
+    doc = run_macro_benchmark(jobs=args.jobs, repeats=args.repeats, quick=args.quick)
+    validate_macro_doc(doc, min_speedup=args.min_speedup)
+    write_bench_json(doc, args.output)
+    print(format_macro_table(doc))
     print(f"\nwrote {args.output}", file=sys.stderr)
     return 0
 
@@ -253,16 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scenario", default="intersection")
     compare.add_argument("--frames", type=int, default=300)
     compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="process-pool workers (1 = in-process)")
     compare.set_defaults(func=_cmd_compare)
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number")
     fig.add_argument("--frames", type=int, default=240)
+    fig.add_argument("--jobs", type=int, default=1,
+                     help="process-pool workers (1 = in-process)")
     fig.set_defaults(func=_cmd_fig)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number")
     table.add_argument("--frames", type=int, default=240)
+    table.add_argument("--jobs", type=int, default=1,
+                       help="process-pool workers (1 = in-process)")
     table.set_defaults(func=_cmd_table)
 
     bench = sub.add_parser(
@@ -274,6 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--only", metavar="NAMES", default=None,
                        help="comma-separated bench names (default: all)")
     bench.set_defaults(func=_cmd_bench)
+
+    macro = sub.add_parser(
+        "macrobench",
+        help="benchmark the sweep engine (sequential vs --jobs N) "
+             "and write BENCH_macro.json",
+    )
+    macro.add_argument("--jobs", type=int, default=4,
+                       help="parallel arm's worker count")
+    macro.add_argument("--repeats", type=int, default=3,
+                       help="min-of-k repeats per arm")
+    macro.add_argument("--quick", action="store_true",
+                       help="smaller method grid and shorter clips (CI smoke)")
+    macro.add_argument("--output", metavar="PATH", default="BENCH_macro.json")
+    macro.add_argument("--min-speedup", type=float, default=None,
+                       help="fail unless parallel/sequential speedup reaches "
+                            "this (the CI gate on multi-core runners)")
+    macro.set_defaults(func=_cmd_macrobench)
     return parser
 
 

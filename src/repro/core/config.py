@@ -40,10 +40,17 @@ class PipelineConfig:
     # generations of one run (0 disables caching).  A hit replaces a full
     # pyramid + gradient rebuild and is bit-identical to one.
     pyramid_cache_capacity: int = 4
+    # FrameRenderer cache size for clips built under this config (None =
+    # keep the renderer default).  Sweep workers rebuild clips from specs,
+    # so this is how an experiment bounds per-worker render memory — the
+    # render.cache_hit/cache_miss counters show what the bound costs.
+    render_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.pyramid_cache_capacity < 0:
             raise ValueError("pyramid_cache_capacity must be non-negative")
+        if self.render_cache_size is not None and self.render_cache_size < 1:
+            raise ValueError("render_cache_size must be >= 1 when set")
 
     def make_pyramid_cache(self):
         """A fresh per-run cache, or ``None`` when caching is disabled."""

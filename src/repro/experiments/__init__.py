@@ -3,6 +3,10 @@
 Every table and figure of the paper's evaluation (§VI) has a runner module
 here and a corresponding bench in ``benchmarks/``; see DESIGN.md's
 experiment index for the mapping.
+
+All runners accept ``jobs=N`` and route their (method × clip) grids
+through :mod:`repro.parallel` (DESIGN.md §8); ``run_sweep`` is re-exported
+here for convenience.
 """
 
 from repro.experiments.workloads import (
@@ -18,6 +22,7 @@ from repro.experiments.runners import (
     run_method_on_clip,
     run_method_on_suite,
 )
+from repro.parallel import SweepEngine, SweepResult, run_sweep
 
 __all__ = [
     "evaluation_suite",
@@ -29,4 +34,7 @@ __all__ = [
     "make_method",
     "run_method_on_clip",
     "run_method_on_suite",
+    "SweepEngine",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
 from repro.experiments.report import format_table, relative_gain
-from repro.experiments.runners import run_method_on_suite
+from repro.experiments.runners import evaluate_run
 from repro.experiments.workloads import evaluation_suite
+from repro.parallel import run_sweep
 from repro.video.dataset import VideoSuite
 
 _METHODS = ("adavp", "mpdt-320", "mpdt-416", "mpdt-512", "mpdt-608")
@@ -64,15 +65,16 @@ def run_fig10(
     suite: VideoSuite | None = None,
     config: PipelineConfig | None = None,
     strict_alpha: float = 0.75,
+    jobs: int = 1,
 ) -> ThresholdSweepResult:
     suite = suite or evaluation_suite()
+    sweep = run_sweep(_METHODS, suite, config=config, keep_runs=True, jobs=jobs)
+    sweep.raise_if_failed()
     default, strict = {}, {}
     for method in _METHODS:
-        result = run_method_on_suite(method, suite, config, keep_runs=True)
+        result = sweep.results[method]
         default[method] = result.accuracy
         # Re-score the same runs at the stricter alpha (no re-simulation).
-        from repro.experiments.runners import evaluate_run
-
         strict[method] = float(
             sum(
                 evaluate_run(run_, clip, alpha=strict_alpha)[0]
@@ -94,14 +96,15 @@ def run_fig11(
     suite: VideoSuite | None = None,
     config: PipelineConfig | None = None,
     strict_iou: float = 0.6,
+    jobs: int = 1,
 ) -> ThresholdSweepResult:
     suite = suite or evaluation_suite()
+    sweep = run_sweep(_METHODS, suite, config=config, keep_runs=True, jobs=jobs)
+    sweep.raise_if_failed()
     default, strict = {}, {}
     for method in _METHODS:
-        result = run_method_on_suite(method, suite, config, keep_runs=True)
+        result = sweep.results[method]
         default[method] = result.accuracy
-        from repro.experiments.runners import evaluate_run
-
         strict[method] = float(
             sum(
                 evaluate_run(run_, clip, iou_threshold=strict_iou)[0]

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
 from repro.experiments.report import format_table, relative_gain
-from repro.experiments.runners import MethodResult, run_method_on_suite
+from repro.experiments.runners import MethodResult
 from repro.experiments.workloads import evaluation_suite
+from repro.parallel import ProgressCallback, run_sweep
 from repro.video.dataset import VideoSuite
 
 FIG6_METHODS: tuple[str, ...] = (
@@ -120,15 +121,23 @@ def run(
     alpha: float = 0.7,
     iou_threshold: float = 0.5,
     config: PipelineConfig | None = None,
+    jobs: int = 1,
+    progress: ProgressCallback | None = None,
 ) -> Fig6Result:
     suite = suite or evaluation_suite()
-    results = {
-        name: run_method_on_suite(
-            name, suite, config, alpha=alpha, iou_threshold=iou_threshold
-        )
-        for name in methods
-    }
-    return Fig6Result(results=results, alpha=alpha, iou_threshold=iou_threshold)
+    sweep = run_sweep(
+        methods,
+        suite,
+        config=config,
+        alpha=alpha,
+        iou_threshold=iou_threshold,
+        jobs=jobs,
+        progress=progress,
+    )
+    sweep.raise_if_failed()
+    return Fig6Result(
+        results=sweep.results, alpha=alpha, iou_threshold=iou_threshold
+    )
 
 
 if __name__ == "__main__":

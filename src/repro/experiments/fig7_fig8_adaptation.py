@@ -64,10 +64,12 @@ class AdaptationBehaviour:
 
 
 def run(
-    suite: VideoSuite | None = None, config: PipelineConfig | None = None
+    suite: VideoSuite | None = None,
+    config: PipelineConfig | None = None,
+    jobs: int = 1,
 ) -> AdaptationBehaviour:
     suite = suite or evaluation_suite()
-    result = run_method_on_suite("adavp", suite, config, keep_runs=True)
+    result = run_method_on_suite("adavp", suite, config, keep_runs=True, jobs=jobs)
     gaps: list[int] = []
     usage: dict[str, int] = {}
     for run_ in result.runs:

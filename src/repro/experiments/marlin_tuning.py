@@ -43,8 +43,14 @@ def run(
     candidates: tuple[float, ...] = DEFAULT_CANDIDATES,
     suite: VideoSuite | None = None,
     config: PipelineConfig | None = None,
+    jobs: int = 1,
 ) -> MarlinTuningResult:
-    """Sweep the trigger threshold on (a subset of) the training corpus."""
+    """Sweep the trigger threshold on (a subset of) the training corpus.
+
+    Candidates reuse one method name with different kwargs, so each
+    threshold is its own suite sweep; ``jobs`` parallelises over clips
+    within a threshold.
+    """
     suite = suite or VideoSuite(
         name="marlin-tuning", clips=training_suite().clips[:8]
     )
@@ -52,7 +58,7 @@ def run(
     for threshold in candidates:
         marlin = MarlinConfig(setting=setting, trigger_velocity=threshold)
         result = run_method_on_suite(
-            f"marlin-{setting}", suite, config, marlin=marlin
+            f"marlin-{setting}", suite, config, marlin=marlin, jobs=jobs
         )
         accuracies[threshold] = result.accuracy
     return MarlinTuningResult(setting=setting, accuracies=accuracies)

@@ -23,25 +23,67 @@ from repro.metrics.energy import ActivityLog, EnergyBreakdown, TX2_POWER_MODEL
 from repro.runtime.simulator import PipelineRun
 from repro.video.dataset import VideoClip, VideoSuite
 
+_SETTINGS = (320, 416, 512, 608)
+
+
+def _adavp_factory(name: str, config: PipelineConfig, kwargs: dict):
+    return AdaVP(config=config, **kwargs)
+
+
+def _mpdt_factory(setting: int):
+    def build(name: str, config: PipelineConfig, kwargs: dict):
+        return MPDTPipeline(
+            FixedSettingPolicy(setting), config, method_name=name, **kwargs
+        )
+
+    return build
+
+
+def _marlin_factory(setting: int):
+    def build(name: str, config: PipelineConfig, kwargs: dict):
+        marlin_cfg = kwargs.pop("marlin", None) or MarlinConfig(setting=setting)
+        return MarlinPipeline(marlin_cfg, config, method_name=name, **kwargs)
+
+    return build
+
+
+def _no_tracking_factory(setting: int):
+    def build(name: str, config: PipelineConfig, kwargs: dict):
+        return NoTrackingPipeline(setting, config, method_name=name, **kwargs)
+
+    return build
+
+
+def _continuous_factory(setting: str):
+    def build(name: str, config: PipelineConfig, kwargs: dict):
+        return ContinuousDetectionPipeline(setting, config, method_name=name, **kwargs)
+
+    return build
+
+
+def _build_registry():
+    """Every method name the benches understand, parsed once up front.
+
+    Each entry is ``name -> factory(name, config, kwargs)``; settings are
+    bound here rather than re-derived from the name at construction time.
+    """
+    registry = {"adavp": _adavp_factory}
+    for setting in _SETTINGS:
+        registry[f"mpdt-{setting}"] = _mpdt_factory(setting)
+    for setting in _SETTINGS:
+        registry[f"marlin-{setting}"] = _marlin_factory(setting)
+    for setting in _SETTINGS:
+        registry[f"no-tracking-{setting}"] = _no_tracking_factory(setting)
+    registry["continuous-320"] = _continuous_factory("yolov3-320")
+    registry["continuous-608"] = _continuous_factory("yolov3-608")
+    registry["continuous-tiny-320"] = _continuous_factory("yolov3-tiny-320")
+    return registry
+
+
+_REGISTRY = _build_registry()
+
 # The method names every figure/table bench understands.
-METHODS: tuple[str, ...] = (
-    "adavp",
-    "mpdt-320",
-    "mpdt-416",
-    "mpdt-512",
-    "mpdt-608",
-    "marlin-320",
-    "marlin-416",
-    "marlin-512",
-    "marlin-608",
-    "no-tracking-320",
-    "no-tracking-416",
-    "no-tracking-512",
-    "no-tracking-608",
-    "continuous-320",
-    "continuous-608",
-    "continuous-tiny-320",
-)
+METHODS: tuple[str, ...] = tuple(_REGISTRY)
 
 
 def make_method(name: str, config: PipelineConfig | None = None, **kwargs):
@@ -50,24 +92,10 @@ def make_method(name: str, config: PipelineConfig | None = None, **kwargs):
     ``kwargs`` are forwarded to the method constructor (e.g. a custom
     threshold table for ``adavp`` or a trigger velocity for MARLIN).
     """
-    config = config or PipelineConfig()
-    if name == "adavp":
-        return AdaVP(config=config, **kwargs)
-    kind, _, size = name.partition("-")
-    if kind == "mpdt":
-        return MPDTPipeline(
-            FixedSettingPolicy(int(size)), config, method_name=name, **kwargs
-        )
-    if kind == "marlin":
-        marlin_cfg = kwargs.pop("marlin", None) or MarlinConfig(setting=int(size))
-        return MarlinPipeline(marlin_cfg, config, method_name=name, **kwargs)
-    if kind == "no":  # "no-tracking-N"
-        size = name.rsplit("-", 1)[1]
-        return NoTrackingPipeline(int(size), config, method_name=name, **kwargs)
-    if kind == "continuous":
-        setting = "yolov3-tiny-320" if "tiny" in name else f"yolov3-{size.rsplit('-', 1)[-1]}"
-        return ContinuousDetectionPipeline(setting, config, method_name=name, **kwargs)
-    raise KeyError(f"unknown method {name!r}; known: {', '.join(METHODS)}")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise KeyError(f"unknown method {name!r}; known: {', '.join(METHODS)}")
+    return factory(name, config or PipelineConfig(), dict(kwargs))
 
 
 def run_method_on_clip(method, clip: VideoClip) -> PipelineRun:
@@ -89,10 +117,20 @@ class MethodResult:
     @property
     def accuracy(self) -> float:
         """Suite accuracy: mean per-video %frames-above-alpha (paper §VI-A)."""
+        if not self.per_video_accuracy:
+            raise ValueError(
+                f"method {self.method!r} has no per-video results — "
+                "was it run on an empty suite?"
+            )
         return float(np.mean(self.per_video_accuracy))
 
     @property
     def mean_f1(self) -> float:
+        if not self.per_video_mean_f1:
+            raise ValueError(
+                f"method {self.method!r} has no per-video results — "
+                "was it run on an empty suite?"
+            )
         return float(np.mean(self.per_video_mean_f1))
 
     def energy(self) -> EnergyBreakdown:
@@ -120,17 +158,32 @@ def run_method_on_suite(
     alpha: float = 0.7,
     iou_threshold: float = 0.5,
     keep_runs: bool = False,
+    jobs: int = 1,
+    obs=None,
+    progress=None,
     **kwargs,
 ) -> MethodResult:
-    """Run a registry method over a suite and aggregate paper-style metrics."""
-    result = MethodResult(method=name)
-    for clip in suite:
-        method = make_method(name, config, **kwargs)
-        run = run_method_on_clip(method, clip)
-        accuracy, f1 = evaluate_run(run, clip, alpha, iou_threshold)
-        result.per_video_accuracy.append(accuracy)
-        result.per_video_mean_f1.append(float(f1.mean()))
-        result.activity.merge(run.activity)
-        if keep_runs:
-            result.runs.append(run)
-    return result
+    """Run a registry method over a suite and aggregate paper-style metrics.
+
+    Delegates to the sweep engine: ``jobs=1`` runs the clips inline in
+    suite order (bit-identical to the historical sequential loop, shared
+    renderer caches and all); ``jobs>1`` shards the clips over a process
+    pool.  A shard that fails both attempts raises ``RuntimeError`` — a
+    single-method sweep has no partial-result story to fall back on.
+    """
+    from repro.parallel import run_sweep
+
+    sweep = run_sweep(
+        [name],
+        suite,
+        config=config,
+        alpha=alpha,
+        iou_threshold=iou_threshold,
+        keep_runs=keep_runs,
+        jobs=jobs,
+        obs=obs,
+        progress=progress,
+        method_kwargs={name: kwargs} if kwargs else None,
+    )
+    sweep.raise_if_failed()
+    return sweep.results[name]

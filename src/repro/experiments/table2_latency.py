@@ -11,10 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
-from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
 from repro.detection.profiles import get_profile
 from repro.experiments.report import format_table
-from repro.video.dataset import make_clip
+from repro.parallel import run_sweep
+from repro.video.dataset import VideoSuite, make_clip
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,7 @@ class Table2Result:
         )
 
 
-def run(seed: int = 5, num_frames: int = 240) -> Table2Result:
+def run(seed: int = 5, num_frames: int = 240, jobs: int = 1) -> Table2Result:
     config = PipelineConfig()
     latency = config.latency
     detection_low = get_profile(320).base_latency * 1e3
@@ -65,10 +65,17 @@ def run(seed: int = 5, num_frames: int = 240) -> Table2Result:
     # Cross-check: observed detection latencies in a real pipeline run, at
     # the smallest and largest settings.
     clip = make_clip("intersection", seed=seed, num_frames=num_frames)
-    observed = []
-    for size in (320, 608):
-        run_ = MPDTPipeline(FixedSettingPolicy(size), config).run(clip)
-        observed.extend(c.detection_latency for c in run_.cycles)
+    suite = VideoSuite(name="table2-crosscheck", clips=[clip])
+    sweep = run_sweep(
+        ("mpdt-320", "mpdt-608"), suite, config=config, keep_runs=True, jobs=jobs
+    )
+    sweep.raise_if_failed()
+    observed = [
+        c.detection_latency
+        for result in sweep.results.values()
+        for run_ in result.runs
+        for c in run_.cycles
+    ]
     return Table2Result(
         rows=rows,
         observed_detection_ms=(min(observed) * 1e3, max(observed) * 1e3),

@@ -16,9 +16,10 @@ from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
 from repro.experiments.report import format_table
-from repro.experiments.runners import MethodResult, run_method_on_suite
+from repro.experiments.runners import MethodResult
 from repro.experiments.workloads import evaluation_suite
 from repro.metrics.energy import EnergyBreakdown
+from repro.parallel import run_sweep
 from repro.video.dataset import VideoSuite
 
 TABLE3_METHODS: tuple[str, ...] = (
@@ -83,13 +84,15 @@ def run(
     suite: VideoSuite | None = None,
     config: PipelineConfig | None = None,
     methods: tuple[str, ...] = TABLE3_METHODS,
+    jobs: int = 1,
 ) -> Table3Result:
     suite = suite or evaluation_suite()
     video_seconds = sum(clip.num_frames / clip.fps for clip in suite)
-    columns = {}
-    for name in methods:
-        result = run_method_on_suite(name, suite, config)
-        columns[name] = _column(name, result, video_seconds)
+    sweep = run_sweep(methods, suite, config=config, jobs=jobs)
+    sweep.raise_if_failed()
+    columns = {
+        name: _column(name, sweep.results[name], video_seconds) for name in methods
+    }
     return Table3Result(columns=columns, video_hours=video_seconds / 3600.0)
 
 

@@ -1,0 +1,230 @@
+"""Suite-level macro-benchmark → ``BENCH_macro.json``.
+
+Where ``repro.perf.benches`` times vision kernels in isolation, this
+module times the whole sweep engine on a reduced fig6 workload —
+sequential (``jobs=1``) versus a process pool (``jobs=N``) — using the
+same methodology as the micro harness: fixed seeded workload, warm-up,
+min-of-k, and a correctness gate before any timing.  The identity
+assertion is the macro equivalent of the micro harness's
+reference-output check: both arms must produce bit-identical
+``MethodResult``s or the document is not written — a benchmark of a
+wrong answer is worthless.
+
+The observed speedup is whatever the host gives: on a single-core
+container the pool cannot beat the sequential arm (the document records
+``host.cpu_count`` so trend tooling can tell the difference), while the
+multi-core CI runners are where the speedup gate is enforced — see the
+``sweep-smoke`` job and :func:`validate_macro_doc`'s ``min_speedup``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+
+from repro.experiments.fig6_overall import FIG6_METHODS
+from repro.experiments.workloads import quick_suite
+from repro.parallel import SweepEngine, SweepResult
+
+MACRO_SCHEMA_VERSION = 1
+MACRO_SUITE_NAME = "repro-macro"
+MACRO_BENCH_NAME = "fig6_reduced_sweep"
+
+_QUICK_METHODS = ("adavp", "mpdt-320", "mpdt-608", "no-tracking-320")
+
+
+def _workload(quick: bool):
+    """(methods, suite) for the reduced fig6 sweep.
+
+    Reduced = the real fig6 method grid over the quick suite's three
+    scenario archetypes at shortened clip length — enough shards to keep
+    a small pool busy, small enough for a CI smoke job.
+    """
+    if quick:
+        return _QUICK_METHODS, quick_suite(frames=60)
+    return FIG6_METHODS, quick_suite(frames=120)
+
+
+def _assert_identical(sequential: SweepResult, parallel: SweepResult) -> None:
+    """Bit-identical or bust, checked before any timing is recorded."""
+    if sequential.failures or parallel.failures:
+        raise AssertionError(
+            "macro-bench sweep had failures:\n"
+            f"{sequential.summary()}\n{parallel.summary()}"
+        )
+    if set(sequential.results) != set(parallel.results):
+        raise AssertionError(
+            f"method sets differ: {sorted(sequential.results)} "
+            f"vs {sorted(parallel.results)}"
+        )
+    for name, seq in sequential.results.items():
+        par = parallel.results[name]
+        checks = (
+            ("per_video_accuracy", seq.per_video_accuracy, par.per_video_accuracy),
+            ("per_video_mean_f1", seq.per_video_mean_f1, par.per_video_mean_f1),
+            ("activity.duration", seq.activity.duration, par.activity.duration),
+            ("activity.gpu_busy", dict(seq.activity.gpu_busy), dict(par.activity.gpu_busy)),
+            ("activity.cpu_busy", dict(seq.activity.cpu_busy), dict(par.activity.cpu_busy)),
+            ("energy", seq.energy().as_dict(), par.energy().as_dict()),
+        )
+        for label, a, b in checks:
+            if a != b:
+                raise AssertionError(
+                    f"sequential vs parallel mismatch for {name} {label}: {a!r} != {b!r}"
+                )
+
+
+def run_macro_benchmark(
+    jobs: int = 4, repeats: int = 3, quick: bool = False
+) -> dict:
+    """Time the reduced fig6 sweep sequentially and at ``jobs`` workers.
+
+    Returns the ``BENCH_macro.json`` document.  Timings interleave the
+    two arms repeat by repeat so drift in background load hits both
+    equally; the identity check doubles as the warm-up for each arm
+    (worker processes imported, renderer caches populated).
+    """
+    if jobs < 2:
+        raise ValueError("macro-bench needs jobs >= 2 (it compares against jobs=1)")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    methods, suite = _workload(quick)
+
+    with SweepEngine(jobs=1) as seq_engine, SweepEngine(jobs=jobs) as par_engine:
+        sequential = seq_engine.run(methods, suite)
+        parallel = par_engine.run(methods, suite)
+        _assert_identical(sequential, parallel)
+
+        seq_times, par_times = [], []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            seq_engine.run(methods, suite)
+            seq_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            par_engine.run(methods, suite)
+            par_times.append(time.perf_counter() - start)
+
+    sequential_best = min(seq_times)
+    parallel_best = min(par_times)
+    bench = {
+        "name": MACRO_BENCH_NAME,
+        "workload": {
+            "methods": list(methods),
+            "clips": [clip.name for clip in suite],
+            "frames_per_clip": [clip.num_frames for clip in suite],
+            "shards": len(methods) * len(suite),
+        },
+        "jobs": jobs,
+        "repeats": repeats,
+        "sequential_best_s": sequential_best,
+        "sequential_mean_s": sum(seq_times) / len(seq_times),
+        "parallel_best_s": parallel_best,
+        "parallel_mean_s": sum(par_times) / len(par_times),
+        "speedup": sequential_best / parallel_best,
+        "results_identical": True,
+        "failures": 0,
+    }
+    return {
+        "schema_version": MACRO_SCHEMA_VERSION,
+        "suite": MACRO_SUITE_NAME,
+        "quick": quick,
+        "created_unix": time.time(),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benches": [bench],
+    }
+
+
+_REQUIRED_TOP_KEYS = (
+    "schema_version",
+    "suite",
+    "quick",
+    "created_unix",
+    "host",
+    "benches",
+)
+_REQUIRED_BENCH_KEYS = (
+    "name",
+    "workload",
+    "jobs",
+    "repeats",
+    "sequential_best_s",
+    "parallel_best_s",
+    "speedup",
+    "results_identical",
+    "failures",
+)
+
+
+def validate_macro_doc(doc: dict, min_speedup: float | None = None) -> list[str]:
+    """Schema check for ``BENCH_macro.json``; returns the bench names.
+
+    ``min_speedup`` is the CI gate: on multi-core runners the sweep-smoke
+    job asserts the pool actually pays for itself.  It is optional because
+    the document is also written on hosts where parallel wall-clock wins
+    are impossible (see ``host.cpu_count``).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("macro-bench document must be a JSON object")
+    for key in _REQUIRED_TOP_KEYS:
+        if key not in doc:
+            raise ValueError(f"macro-bench document missing key {key!r}")
+    if doc["schema_version"] != MACRO_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {doc['schema_version']!r} != {MACRO_SCHEMA_VERSION}"
+        )
+    if doc["suite"] != MACRO_SUITE_NAME:
+        raise ValueError(f"suite {doc['suite']!r} != {MACRO_SUITE_NAME!r}")
+    if "cpu_count" not in doc["host"]:
+        raise ValueError("macro-bench host metadata missing 'cpu_count'")
+    if not isinstance(doc["benches"], list) or not doc["benches"]:
+        raise ValueError("macro-bench document has no benches")
+    names = []
+    for bench in doc["benches"]:
+        for key in _REQUIRED_BENCH_KEYS:
+            if key not in bench:
+                raise ValueError(
+                    f"bench {bench.get('name', '<unnamed>')!r} missing key {key!r}"
+                )
+        for key in ("sequential_best_s", "parallel_best_s", "speedup"):
+            value = bench[key]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"bench {bench['name']!r} has non-positive {key}")
+        if bench["jobs"] < 2:
+            raise ValueError(f"bench {bench['name']!r} has jobs < 2")
+        if bench["results_identical"] is not True:
+            raise ValueError(
+                f"bench {bench['name']!r} was not asserted result-identical"
+            )
+        if bench["failures"] != 0:
+            raise ValueError(f"bench {bench['name']!r} recorded shard failures")
+        if min_speedup is not None and bench["speedup"] < min_speedup:
+            raise ValueError(
+                f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
+                f"below required {min_speedup:.2f}x"
+            )
+        names.append(bench["name"])
+    if len(set(names)) != len(names):
+        raise ValueError("macro-bench names are not unique")
+    return names
+
+
+def format_macro_table(doc: dict) -> str:
+    """Human-readable summary of a macro-bench document for the CLI."""
+    lines = [
+        f"{'bench':20s} {'shards':>6s} {'jobs':>5s} {'seq':>9s} {'par':>9s} {'speedup':>8s}"
+    ]
+    for bench in doc["benches"]:
+        lines.append(
+            f"{bench['name']:20s} {bench['workload']['shards']:>6d} "
+            f"{bench['jobs']:>5d} {bench['sequential_best_s']:>8.2f}s "
+            f"{bench['parallel_best_s']:>8.2f}s {bench['speedup']:>7.2f}x"
+        )
+    lines.append(f"(host cpu_count={doc['host']['cpu_count']})")
+    return "\n".join(lines)

@@ -101,14 +101,32 @@ class FrameRenderer:
     """
 
     def __init__(self, scene: Scene, cache_size: int = 64) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
         self.scene = scene
         self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._background = make_background(
             scene.seed ^ 0xBAC4, scene.config.background_contrast
         )
         self._textures: dict[int, np.ndarray] = {}
         self._warp_fields: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._cache: dict[int, np.ndarray] = {}
+        self.set_obs(None)
+
+    def set_obs(self, obs=None) -> None:
+        """Attach telemetry for the hit/miss counters (None detaches).
+
+        The counters are resolved once here, not per render call, so the
+        hot path pays a plain method call on a no-op instrument when
+        observability is off.
+        """
+        from repro.obs import NULL_TELEMETRY
+
+        telemetry = obs if obs is not None else NULL_TELEMETRY
+        self._obs_hit = telemetry.counter("render.cache_hit")
+        self._obs_miss = telemetry.counter("render.cache_miss")
 
     def _texture_for(self, obj: SceneObject) -> np.ndarray:
         texture = self._textures.get(obj.object_id)
@@ -194,7 +212,11 @@ class FrameRenderer:
         """Render (or fetch from cache) the frame at ``frame_index``."""
         cached = self._cache.get(frame_index)
         if cached is not None:
+            self.cache_hits += 1
+            self._obs_hit.inc()
             return cached
+        self.cache_misses += 1
+        self._obs_miss.inc()
         cfg = self.scene.config
         frame = self._render_background(frame_index)
         # Larger objects are treated as nearer: draw them last so they occlude.

@@ -9,12 +9,14 @@ from repro.core.adavp import AdaVP
 from repro.core.mpdt import MPDTPipeline
 from repro.experiments.runners import (
     METHODS,
+    MethodResult,
     evaluate_run,
     make_method,
     run_method_on_clip,
     run_method_on_suite,
 )
 from repro.experiments.workloads import quick_suite
+from repro.video.dataset import make_clip
 
 
 class TestRegistry:
@@ -37,8 +39,23 @@ class TestRegistry:
         assert method.setting == "yolov3-tiny-320"
 
     def test_unknown_method_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="unknown method 'quantum-yolo'"):
             make_method("quantum-yolo")
+
+    def test_near_miss_names_rejected(self):
+        # The old partition/rsplit parsing could be fooled by names that
+        # merely start like a registered family; the table cannot.
+        for name in ("mpdt", "mpdt-999", "no-tracking", "continuous",
+                     "continuous-416", "marlin-512-extra"):
+            with pytest.raises(KeyError, match="unknown method"):
+                make_method(name)
+
+    def test_every_method_runs_on_a_two_frame_clip(self):
+        clip = make_clip("intersection", seed=3, num_frames=2)
+        for name in METHODS:
+            run = run_method_on_clip(make_method(name), clip)
+            assert run.num_frames == 2, name
+            assert run.method == name
 
 
 class TestEvaluation:
@@ -64,6 +81,13 @@ class TestEvaluation:
         result = run_method_on_suite("no-tracking-512", suite)
         breakdown = result.energy()
         assert breakdown.total_wh > 0
+
+    def test_empty_result_raises_value_error(self):
+        empty = MethodResult(method="adavp")
+        with pytest.raises(ValueError, match="no per-video results"):
+            empty.accuracy
+        with pytest.raises(ValueError, match="no per-video results"):
+            empty.mean_f1
 
     def test_evaluate_run_thresholds(self, suite):
         clip = suite.clips[0]

@@ -1,0 +1,54 @@
+"""Parallel sweeps must be bit-identical to sequential ones.
+
+This is the engine's core contract: every shard is a pure function of
+its spec, so fig6 at ``--jobs 2`` produces the same per-video accuracy
+lists, merged activity logs, and energy breakdowns as ``--jobs 1`` —
+not approximately, exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6_overall import run as run_fig6
+from repro.experiments.workloads import quick_suite
+
+_REDUCED_METHODS = ("adavp", "mpdt-320", "no-tracking-416")
+
+
+@pytest.fixture(scope="module")
+def fig6_pair():
+    sequential = run_fig6(
+        suite=quick_suite(frames=60), methods=_REDUCED_METHODS, jobs=1
+    )
+    parallel = run_fig6(
+        suite=quick_suite(frames=60), methods=_REDUCED_METHODS, jobs=2
+    )
+    return sequential, parallel
+
+
+class TestFig6Determinism:
+    def test_per_video_accuracy_bit_identical(self, fig6_pair):
+        sequential, parallel = fig6_pair
+        for name in _REDUCED_METHODS:
+            assert (
+                sequential.results[name].per_video_accuracy
+                == parallel.results[name].per_video_accuracy
+            )
+            assert (
+                sequential.results[name].per_video_mean_f1
+                == parallel.results[name].per_video_mean_f1
+            )
+
+    def test_merged_activity_and_energy_bit_identical(self, fig6_pair):
+        sequential, parallel = fig6_pair
+        for name in _REDUCED_METHODS:
+            seq, par = sequential.results[name], parallel.results[name]
+            assert seq.activity.duration == par.activity.duration
+            assert dict(seq.activity.gpu_busy) == dict(par.activity.gpu_busy)
+            assert dict(seq.activity.cpu_busy) == dict(par.activity.cpu_busy)
+            assert seq.energy().as_dict() == par.energy().as_dict()
+
+    def test_report_identical(self, fig6_pair):
+        sequential, parallel = fig6_pair
+        assert sequential.report() == parallel.report()

@@ -1,0 +1,194 @@
+"""Sweep engine: determinism, failure isolation, obs funneling, progress.
+
+The worker-crash runners below are module-level functions so the spawn
+start method can pickle them by reference and reimport them inside the
+worker process.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.workloads import quick_suite
+from repro.obs import InMemorySink, Telemetry
+from repro.parallel import SweepEngine, run_shard, run_sweep
+from repro.video.dataset import VideoSuite
+
+_METHODS = ("adavp", "mpdt-320")
+
+
+def _small_suite(frames: int = 48, clips: int | None = None) -> VideoSuite:
+    suite = quick_suite(frames=frames)
+    if clips is not None:
+        suite = VideoSuite(name=suite.name, clips=suite.clips[:clips])
+    return suite
+
+
+def flaky_runner(spec, clip=None, obs=None):
+    """Raises on the first attempt of one cell, then behaves."""
+    if spec.method.name == "mpdt-320" and spec.clip_index == 0 and spec.attempt == 0:
+        raise RuntimeError("injected shard crash")
+    return run_shard(spec, clip=clip, obs=obs)
+
+
+def dead_runner(spec, clip=None, obs=None):
+    """One method fails every attempt."""
+    if spec.method.name == "mpdt-320":
+        raise RuntimeError("always dead")
+    return run_shard(spec, clip=clip, obs=obs)
+
+
+def hard_crash_runner(spec, clip=None, obs=None):
+    """Kills the worker process outright on the first attempt of one cell —
+    the BrokenProcessPool path, not a catchable exception."""
+    if spec.method.name == "mpdt-320" and spec.attempt == 0:
+        os._exit(17)
+    return run_shard(spec, clip=clip, obs=obs)
+
+
+class TestValidation:
+    def test_empty_suite_raises(self):
+        empty = VideoSuite(name="empty", clips=[])
+        with pytest.raises(ValueError, match="empty"):
+            run_sweep(["adavp"], empty)
+
+    def test_no_methods_raises(self):
+        with pytest.raises(ValueError, match="no methods"):
+            run_sweep([], _small_suite(frames=12))
+
+    def test_unknown_method_raises_key_error(self):
+        with pytest.raises(KeyError, match="unknown method 'bogus'"):
+            run_sweep(["bogus"], _small_suite(frames=12))
+
+    def test_bad_jobs_raises(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepEngine(jobs=0)
+
+    def test_method_kwargs_for_absent_method_raises(self):
+        with pytest.raises(KeyError, match="not in sweep"):
+            run_sweep(
+                ["adavp"],
+                _small_suite(frames=12),
+                method_kwargs={"mpdt-320": {}},
+            )
+
+
+class TestSequentialPath:
+    def test_matches_run_method_on_suite(self):
+        from repro.experiments.runners import run_method_on_suite
+
+        suite = _small_suite()
+        sweep = run_sweep(_METHODS, suite, jobs=1)
+        for name in _METHODS:
+            direct = run_method_on_suite(name, suite)
+            assert sweep.results[name].per_video_accuracy == direct.per_video_accuracy
+            assert sweep.results[name].per_video_mean_f1 == direct.per_video_mean_f1
+
+    def test_progress_callback_sees_every_shard_in_grid_order(self):
+        suite = _small_suite(frames=24)
+        events = []
+        run_sweep(
+            _METHODS,
+            suite,
+            jobs=1,
+            progress=lambda done, total, r: events.append((done, total, r.index)),
+        )
+        total = len(_METHODS) * len(suite)
+        assert [e[0] for e in events] == list(range(1, total + 1))
+        assert all(e[1] == total for e in events)
+        assert [e[2] for e in events] == list(range(total))
+
+    def test_keep_runs_in_suite_order(self):
+        suite = _small_suite(frames=24)
+        sweep = run_sweep(["adavp"], suite, jobs=1, keep_runs=True)
+        runs = sweep.results["adavp"].runs
+        assert [r.clip_name for r in runs] == [c.name for c in suite]
+
+
+class TestFailureIsolation:
+    def test_flaky_shard_is_retried_and_result_is_clean(self):
+        suite = _small_suite(frames=24)
+        sweep = run_sweep(_METHODS, suite, jobs=1, shard_runner=flaky_runner)
+        assert sweep.ok
+        assert sweep.retried_shards == 1
+        clean = run_sweep(_METHODS, suite, jobs=1)
+        assert (
+            sweep.results["mpdt-320"].per_video_accuracy
+            == clean.results["mpdt-320"].per_video_accuracy
+        )
+
+    def test_dead_method_reported_without_sinking_the_sweep(self):
+        suite = _small_suite(frames=24)
+        sweep = run_sweep(_METHODS, suite, jobs=1, shard_runner=dead_runner)
+        assert not sweep.ok
+        assert "adavp" in sweep.results
+        assert "mpdt-320" not in sweep.results
+        assert len(sweep.failures) == len(suite)
+        failure = sweep.failures[0]
+        assert failure.method == "mpdt-320"
+        assert failure.attempts == 2
+        assert "always dead" in failure.error
+        assert "FAILED mpdt-320" in sweep.summary()
+        with pytest.raises(RuntimeError, match="shard\\(s\\) failed"):
+            sweep.raise_if_failed()
+
+    def test_worker_exception_in_pool_is_retried(self):
+        suite = _small_suite(frames=24, clips=1)
+        sweep = run_sweep(_METHODS, suite, jobs=2, shard_runner=flaky_runner)
+        assert sweep.ok
+        assert sweep.retried_shards == 1
+
+    def test_worker_hard_crash_rebuilds_pool_and_retries(self):
+        suite = _small_suite(frames=24, clips=1)
+        sweep = run_sweep(_METHODS, suite, jobs=2, shard_runner=hard_crash_runner)
+        assert sweep.ok, sweep.summary()
+        assert sweep.retried_shards >= 1
+        clean = run_sweep(_METHODS, suite, jobs=1)
+        for name in _METHODS:
+            assert (
+                sweep.results[name].per_video_accuracy
+                == clean.results[name].per_video_accuracy
+            )
+
+
+class TestObsFunneling:
+    def test_worker_spans_and_counters_reach_parent_sink(self):
+        suite = _small_suite(frames=24, clips=2)
+        obs = Telemetry(InMemorySink())
+        sweep = run_sweep(["mpdt-320"], suite, jobs=2, obs=obs)
+        assert sweep.ok
+        assert obs.sink.spans_named("mpdt.detect")
+        obs.flush()
+        counters = {
+            record["name"]: record["value"]
+            for record in obs.sink.last_metrics()
+            if record["kind"] == "counter"
+        }
+        assert counters["sweep.shards_total"] == 2
+        assert counters["sweep.shards_failed"] == 0
+        assert counters["sweep.render_cache_misses"] > 0
+
+    def test_inline_obs_matches_pre_engine_recording(self):
+        suite = _small_suite(frames=24, clips=1)
+        funneled = Telemetry(InMemorySink())
+        run_sweep(["mpdt-320"], suite, jobs=2, obs=funneled)
+
+        inline = Telemetry(InMemorySink())
+        run_sweep(["mpdt-320"], _small_suite(frames=24, clips=1), jobs=1, obs=inline)
+        assert [s.name for s in funneled.sink.spans_named("mpdt.detect")] == [
+            s.name for s in inline.sink.spans_named("mpdt.detect")
+        ]
+
+
+class TestEngineLifecycle:
+    def test_engine_reusable_across_sweeps(self):
+        suite = _small_suite(frames=24, clips=1)
+        with SweepEngine(jobs=2) as engine:
+            first = engine.run(["adavp"], suite)
+            second = engine.run(["adavp"], suite)
+        assert (
+            first.results["adavp"].per_video_accuracy
+            == second.results["adavp"].per_video_accuracy
+        )

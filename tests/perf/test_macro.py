@@ -1,0 +1,94 @@
+"""Macro-bench document: generation, schema validation, CLI smoke."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import (
+    format_macro_table,
+    run_macro_benchmark,
+    validate_macro_doc,
+    write_bench_json,
+)
+from repro.perf.macro import MACRO_BENCH_NAME, MACRO_SUITE_NAME
+
+
+@pytest.fixture(scope="module")
+def macro_doc():
+    return run_macro_benchmark(jobs=2, repeats=1, quick=True)
+
+
+class TestRunMacroBenchmark:
+    def test_document_validates(self, macro_doc):
+        assert validate_macro_doc(macro_doc) == [MACRO_BENCH_NAME]
+
+    def test_document_shape(self, macro_doc):
+        assert macro_doc["suite"] == MACRO_SUITE_NAME
+        assert macro_doc["quick"] is True
+        assert isinstance(macro_doc["host"]["cpu_count"], int)
+        bench = macro_doc["benches"][0]
+        assert bench["jobs"] == 2
+        assert bench["workload"]["shards"] == len(bench["workload"]["methods"]) * len(
+            bench["workload"]["clips"]
+        )
+        assert bench["results_identical"] is True
+        assert bench["failures"] == 0
+        assert bench["sequential_best_s"] > 0
+        assert bench["parallel_best_s"] > 0
+
+    def test_document_is_json_serialisable(self, macro_doc, tmp_path):
+        path = tmp_path / "BENCH_macro.json"
+        write_bench_json(macro_doc, str(path))
+        reloaded = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_macro_doc(reloaded) == [MACRO_BENCH_NAME]
+
+    def test_format_table_mentions_speedup_and_host(self, macro_doc):
+        text = format_macro_table(macro_doc)
+        assert MACRO_BENCH_NAME in text
+        assert "cpu_count" in text
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_macro_benchmark(jobs=1, repeats=1, quick=True)
+
+
+class TestValidateMacroDoc:
+    def test_rejects_missing_top_key(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        del doc["host"]
+        with pytest.raises(ValueError, match="missing key 'host'"):
+            validate_macro_doc(doc)
+
+    def test_rejects_missing_cpu_count(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        del doc["host"]["cpu_count"]
+        with pytest.raises(ValueError, match="cpu_count"):
+            validate_macro_doc(doc)
+
+    def test_rejects_non_identical_results(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["results_identical"] = False
+        with pytest.raises(ValueError, match="result-identical"):
+            validate_macro_doc(doc)
+
+    def test_rejects_shard_failures(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["failures"] = 2
+        with pytest.raises(ValueError, match="failures"):
+            validate_macro_doc(doc)
+
+    def test_rejects_non_positive_timing(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["parallel_best_s"] = 0.0
+        with pytest.raises(ValueError, match="non-positive"):
+            validate_macro_doc(doc)
+
+    def test_min_speedup_gate(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["speedup"] = 1.2
+        with pytest.raises(ValueError, match="below required"):
+            validate_macro_doc(doc, min_speedup=1.7)
+        validate_macro_doc(doc, min_speedup=1.0)

@@ -19,11 +19,27 @@ class TestParser:
             ["run", "adavp", "--obs", "--trace", "t.jsonl"],
             ["obs", "mpdt-512"],
             ["compare"],
+            ["compare", "--jobs", "2"],
             ["fig", "6"],
+            ["fig", "6", "--jobs", "4"],
             ["table", "3"],
+            ["table", "2", "--jobs", "2"],
+            ["macrobench"],
+            ["macrobench", "--quick", "--jobs", "2", "--min-speedup", "1.7"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_jobs_defaults(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig", "6"]).jobs == 1
+        assert parser.parse_args(["table", "3"]).jobs == 1
+        assert parser.parse_args(["compare"]).jobs == 1
+        macro = parser.parse_args(["macrobench"])
+        assert macro.jobs == 4
+        assert macro.repeats == 3
+        assert macro.min_speedup is None
+        assert macro.output == "BENCH_macro.json"
 
 
 class TestCommands:
@@ -84,3 +100,25 @@ class TestCommands:
     def test_table2(self, capsys):
         assert main(["table", "2"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_run_obs_reports_render_cache_counters(self, capsys):
+        assert main(
+            ["run", "mpdt-512", "--scenario", "boat", "--frames", "90", "--obs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "render.cache_miss" in out
+
+    def test_macrobench_quick(self, capsys, tmp_path):
+        import json
+
+        from repro.perf import validate_macro_doc
+
+        path = tmp_path / "BENCH_macro.json"
+        assert main(
+            ["macrobench", "--quick", "--jobs", "2", "--repeats", "1",
+             "--output", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig6_reduced_sweep" in out
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_macro_doc(doc) == ["fig6_reduced_sweep"]

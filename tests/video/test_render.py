@@ -120,3 +120,53 @@ class TestFrames:
         for i in range(10):
             renderer.render(i)
         assert len(renderer._cache) <= 4
+
+    def test_cache_size_must_be_positive(self):
+        scene = Scene(make_scenario("boat", num_frames=4), seed=2)
+        with pytest.raises(ValueError, match="cache_size"):
+            FrameRenderer(scene, cache_size=0)
+
+
+class TestCacheCounters:
+    def test_hit_miss_counters(self):
+        scene = Scene(make_scenario("boat", num_frames=8), seed=2)
+        renderer = FrameRenderer(scene, cache_size=8)
+        renderer.render(0)
+        renderer.render(0)
+        renderer.render(1)
+        assert renderer.cache_misses == 2
+        assert renderer.cache_hits == 1
+
+    def test_counters_recorded_via_obs(self):
+        from repro.obs import InMemorySink, Telemetry
+
+        obs = Telemetry(InMemorySink())
+        scene = Scene(make_scenario("boat", num_frames=8), seed=2)
+        renderer = FrameRenderer(scene, cache_size=8)
+        renderer.set_obs(obs)
+        renderer.render(0)
+        renderer.render(0)
+        obs.flush()
+        counters = {
+            record["name"]: record["value"]
+            for record in obs.sink.last_metrics()
+            if record["kind"] == "counter"
+        }
+        assert counters["render.cache_miss"] == 1
+        assert counters["render.cache_hit"] == 1
+
+    def test_detaching_obs_keeps_plain_counters(self):
+        scene = Scene(make_scenario("boat", num_frames=8), seed=2)
+        renderer = FrameRenderer(scene, cache_size=8)
+        renderer.set_obs(None)
+        renderer.render(0)
+        renderer.render(0)
+        assert renderer.cache_hits == 1
+
+    def test_render_cache_size_config_validation(self):
+        from repro.core.config import PipelineConfig
+
+        with pytest.raises(ValueError, match="render_cache_size"):
+            PipelineConfig(render_cache_size=0)
+        assert PipelineConfig(render_cache_size=16).render_cache_size == 16
+        assert PipelineConfig().render_cache_size is None
