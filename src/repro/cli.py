@@ -132,6 +132,19 @@ def _progress_printer(done: int, total: int, result) -> None:
           file=sys.stderr)
 
 
+def _sweep_config(args: argparse.Namespace):
+    """The shared :class:`PipelineConfig` for sweep commands, or ``None``.
+
+    Only built when a flag actually deviates from the defaults, so the
+    ``config=None`` code paths (and their golden traces) stay untouched.
+    """
+    if getattr(args, "frame_store_mb", None) is None:
+        return None
+    from repro.core.config import PipelineConfig
+
+    return PipelineConfig(frame_store_mb=args.frame_store_mb)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.parallel import run_sweep
@@ -140,7 +153,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
     methods = ("adavp", "mpdt-512", "mpdt-608", "marlin-512", "no-tracking-512")
     suite = VideoSuite(name="compare", clips=[clip])
-    sweep = run_sweep(methods, suite, jobs=args.jobs, progress=_progress_printer)
+    sweep = run_sweep(methods, suite, config=_sweep_config(args), jobs=args.jobs,
+                      progress=_progress_printer)
     sweep.raise_if_failed()
     rows = [
         (name, sweep.results[name].accuracy, sweep.results[name].mean_f1)
@@ -171,22 +185,24 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         from repro.experiments.workloads import evaluation_suite
 
         suite = evaluation_suite(frames=args.frames)
+        config = _sweep_config(args)
         if args.number == "6":
             from repro.experiments.fig6_overall import run
 
-            print(run(suite=suite, jobs=args.jobs, progress=_progress_printer).report())
+            print(run(suite=suite, config=config, jobs=args.jobs,
+                      progress=_progress_printer).report())
         elif args.number in ("7", "8"):
             from repro.experiments.fig7_fig8_adaptation import run
 
-            print(run(suite=suite, jobs=args.jobs).report())
+            print(run(suite=suite, config=config, jobs=args.jobs).report())
         elif args.number == "10":
             from repro.experiments.fig10_fig11_thresholds import run_fig10
 
-            print(run_fig10(suite=suite, jobs=args.jobs).report())
+            print(run_fig10(suite=suite, config=config, jobs=args.jobs).report())
         else:
             from repro.experiments.fig10_fig11_thresholds import run_fig11
 
-            print(run_fig11(suite=suite, jobs=args.jobs).report())
+            print(run_fig11(suite=suite, config=config, jobs=args.jobs).report())
         return 0
     print(f"unknown figure {args.number!r}; know 1, 2, 5, 6, 7, 8, 9, 10, 11",
           file=sys.stderr)
@@ -197,13 +213,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == "2":
         from repro.experiments.table2_latency import run
 
-        print(run(jobs=args.jobs).report())
+        print(run(config=_sweep_config(args), jobs=args.jobs).report())
         return 0
     if args.number == "3":
         from repro.experiments.table3_energy import run
         from repro.experiments.workloads import evaluation_suite
 
-        print(run(suite=evaluation_suite(frames=args.frames), jobs=args.jobs).report())
+        print(run(suite=evaluation_suite(frames=args.frames),
+                  config=_sweep_config(args), jobs=args.jobs).report())
         return 0
     print(f"unknown table {args.number!r}; know 2 and 3", file=sys.stderr)
     return 2
@@ -218,6 +235,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if args.list:
+        from repro.perf.benches import BENCHES
+
+        for name in BENCHES:
+            print(name)
+        return 0
     only = args.only.split(",") if args.only else None
     results = run_benchmarks(quick=args.quick, only=only)
     doc = build_document(results, quick=args.quick)
@@ -236,7 +259,12 @@ def _cmd_macrobench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
-    doc = run_macro_benchmark(jobs=args.jobs, repeats=args.repeats, quick=args.quick)
+    doc = run_macro_benchmark(
+        jobs=args.jobs,
+        repeats=args.repeats,
+        quick=args.quick,
+        frame_store_mb=args.frame_store_mb,
+    )
     validate_macro_doc(doc, min_speedup=args.min_speedup)
     write_bench_json(doc, args.output)
     print(format_macro_table(doc))
@@ -286,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=7)
     compare.add_argument("--jobs", type=int, default=1,
                          help="process-pool workers (1 = in-process)")
+    compare.add_argument("--frame-store-mb", type=int, default=None,
+                         help="MiB budget for the shared frame store "
+                              "(0 disables; default: leave store as-is)")
     compare.set_defaults(func=_cmd_compare)
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
@@ -293,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--frames", type=int, default=240)
     fig.add_argument("--jobs", type=int, default=1,
                      help="process-pool workers (1 = in-process)")
+    fig.add_argument("--frame-store-mb", type=int, default=None,
+                     help="MiB budget for the shared frame store, figs 6-11 "
+                          "(0 disables; default: leave store as-is)")
     fig.set_defaults(func=_cmd_fig)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -300,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--frames", type=int, default=240)
     table.add_argument("--jobs", type=int, default=1,
                        help="process-pool workers (1 = in-process)")
+    table.add_argument("--frame-store-mb", type=int, default=None,
+                       help="MiB budget for the shared frame store "
+                            "(0 disables; default: leave store as-is)")
     table.set_defaults(func=_cmd_table)
 
     bench = sub.add_parser(
@@ -310,6 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", metavar="PATH", default="BENCH_micro.json")
     bench.add_argument("--only", metavar="NAMES", default=None,
                        help="comma-separated bench names (default: all)")
+    bench.add_argument("--list", action="store_true",
+                       help="print the known bench names and exit")
     bench.set_defaults(func=_cmd_bench)
 
     macro = sub.add_parser(
@@ -327,6 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
     macro.add_argument("--min-speedup", type=float, default=None,
                        help="fail unless parallel/sequential speedup reaches "
                             "this (the CI gate on multi-core runners)")
+    macro.add_argument("--frame-store-mb", type=int, default=128,
+                       help="MiB budget for the shared frame store "
+                            "(0 disables it for the whole macro-bench)")
     macro.set_defaults(func=_cmd_macrobench)
     return parser
 

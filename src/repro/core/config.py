@@ -45,12 +45,20 @@ class PipelineConfig:
     # so this is how an experiment bounds per-worker render memory — the
     # render.cache_hit/cache_miss counters show what the bound costs.
     render_cache_size: int | None = None
+    # Byte budget (in MiB) for the process-wide shared FrameStore, so a
+    # sweep renders each frame of a clip once per process instead of once
+    # per method.  None = leave the store as-is; 0 = explicitly disable.
+    # Rendering is deterministic, so the store never changes results —
+    # only when pixels are computed (see repro.video.framestore).
+    frame_store_mb: int | None = None
 
     def __post_init__(self) -> None:
         if self.pyramid_cache_capacity < 0:
             raise ValueError("pyramid_cache_capacity must be non-negative")
         if self.render_cache_size is not None and self.render_cache_size < 1:
             raise ValueError("render_cache_size must be >= 1 when set")
+        if self.frame_store_mb is not None and self.frame_store_mb < 0:
+            raise ValueError("frame_store_mb must be non-negative when set")
 
     def make_pyramid_cache(self):
         """A fresh per-run cache, or ``None`` when caching is disabled."""

@@ -42,8 +42,13 @@ class Table2Result:
         )
 
 
-def run(seed: int = 5, num_frames: int = 240, jobs: int = 1) -> Table2Result:
-    config = PipelineConfig()
+def run(
+    seed: int = 5,
+    num_frames: int = 240,
+    config: PipelineConfig | None = None,
+    jobs: int = 1,
+) -> Table2Result:
+    config = config if config is not None else PipelineConfig()
     latency = config.latency
     detection_low = get_profile(320).base_latency * 1e3
     detection_high = get_profile(608).expected_latency(8) * 1e3

@@ -115,8 +115,12 @@ def run_shard(
         if clip is None:
             clip = _clip_for(spec.clip)
         renderer = clip.renderer
+        store = renderer.frame_store
         hits0, misses0 = renderer.cache_hits, renderer.cache_misses
+        shits0, smisses0 = store.hits, store.misses
+        sevicted0 = store.evicted_bytes
         renderer.set_obs(telemetry or NULL_TELEMETRY)
+        store.set_obs(telemetry or NULL_TELEMETRY)
         try:
             kwargs = dict(spec.method.kwargs)
             if telemetry is not None:
@@ -125,6 +129,7 @@ def run_shard(
             run = run_method_on_clip(method, clip)
         finally:
             renderer.set_obs(NULL_TELEMETRY)
+            store.set_obs(NULL_TELEMETRY)
         accuracy, f1 = evaluate_run(
             run, clip, alpha=spec.alpha, iou_threshold=spec.iou_threshold
         )
@@ -133,6 +138,9 @@ def run_shard(
         result.activity = run.activity
         result.render_hits = renderer.cache_hits - hits0
         result.render_misses = renderer.cache_misses - misses0
+        result.store_hits = store.hits - shits0
+        result.store_misses = store.misses - smisses0
+        result.store_evicted_bytes = store.evicted_bytes - sevicted0
         if spec.keep_run:
             result.run = run
         if telemetry is not None and obs is None:
@@ -167,6 +175,9 @@ class SweepResult:
     elapsed_s: float = 0.0
     render_hits: int = 0
     render_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_evicted_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -189,7 +200,8 @@ class SweepResult:
             f"sweep: {self.total_shards} shards, jobs={self.jobs}, "
             f"{self.elapsed_s:.2f}s wall"
             f" ({self.retried_shards} retried, {len(self.failures)} failed;"
-            f" render cache {self.render_hits} hits / {self.render_misses} misses)"
+            f" render cache {self.render_hits} hits / {self.render_misses} misses;"
+            f" frame store {self.store_hits} hits / {self.store_misses} misses)"
         ]
         for failure in self.failures:
             first_line = failure.error.strip().splitlines()[-1]
@@ -288,8 +300,20 @@ class SweepEngine:
             raise KeyError(f"method_kwargs for methods not in sweep: {sorted(unknown)}")
 
         render_cache = config.render_cache_size if config is not None else None
+        frame_store_mb = config.frame_store_mb if config is not None else None
+        if frame_store_mb is not None:
+            # Configure the parent's process-wide store too: the inline
+            # (jobs=1) path renders through the caller's clips, whose
+            # renderers resolve the default store at render time.  Workers
+            # configure their own store in ``ClipSpec.build()``.
+            from repro.video.framestore import BYTES_PER_MB, configure_default
+
+            configure_default(frame_store_mb * BYTES_PER_MB)
         clip_specs = [
-            ClipSpec.from_clip(clip, render_cache=render_cache) for clip in suite
+            ClipSpec.from_clip(
+                clip, render_cache=render_cache, frame_store_mb=frame_store_mb
+            )
+            for clip in suite
         ]
         collect_obs = obs is not None and self.jobs > 1
         shards = [
@@ -460,6 +484,9 @@ class SweepEngine:
                     method_result.runs.append(shard.run)
                 out.render_hits += shard.render_hits
                 out.render_misses += shard.render_misses
+                out.store_hits += shard.store_hits
+                out.store_misses += shard.store_misses
+                out.store_evicted_bytes += shard.store_evicted_bytes
                 if obs is not None and (shard.spans or shard.metrics):
                     for span in shard.spans:
                         obs.sink.record_span(span)
@@ -479,6 +506,9 @@ class SweepEngine:
         obs.counter("sweep.shards_failed").inc(len(result.failures))
         obs.counter("sweep.render_cache_hits").inc(result.render_hits)
         obs.counter("sweep.render_cache_misses").inc(result.render_misses)
+        obs.counter("sweep.store_hits").inc(result.store_hits)
+        obs.counter("sweep.store_misses").inc(result.store_misses)
+        obs.counter("sweep.store_evicted_bytes").inc(result.store_evicted_bytes)
         obs.gauge("sweep.jobs").set(self.jobs)
 
 

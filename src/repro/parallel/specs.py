@@ -31,9 +31,19 @@ class ClipSpec:
     seed: int
     name: str
     render_cache: int = 64
+    # MiB budget for the worker's process-wide FrameStore (None = leave it
+    # alone).  Part of the clip spec because workers configure their store
+    # on first build — the parent's store object cannot cross the process
+    # boundary, but the budget (and the content-addressed keys) can.
+    frame_store_mb: int | None = None
 
     @classmethod
-    def from_clip(cls, clip: VideoClip, render_cache: int | None = None) -> "ClipSpec":
+    def from_clip(
+        cls,
+        clip: VideoClip,
+        render_cache: int | None = None,
+        frame_store_mb: int | None = None,
+    ) -> "ClipSpec":
         return cls(
             config=clip.config,
             seed=clip.scene.seed,
@@ -41,9 +51,14 @@ class ClipSpec:
             render_cache=(
                 render_cache if render_cache is not None else clip.renderer.cache_size
             ),
+            frame_store_mb=frame_store_mb,
         )
 
     def build(self) -> VideoClip:
+        if self.frame_store_mb is not None:
+            from repro.video.framestore import BYTES_PER_MB, configure_default
+
+            configure_default(self.frame_store_mb * BYTES_PER_MB)
         return make_clip(
             self.config, seed=self.seed, name=self.name, render_cache=self.render_cache
         )
@@ -106,6 +121,9 @@ class ShardResult:
     metrics: list[dict[str, Any]] = field(default_factory=list)
     render_hits: int = 0
     render_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_evicted_bytes: int = 0
     elapsed_s: float = 0.0
     worker_pid: int = 0
     attempt: int = 0

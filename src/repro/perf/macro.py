@@ -24,6 +24,7 @@ import platform
 import sys
 import time
 
+from repro.core.config import PipelineConfig
 from repro.experiments.fig6_overall import FIG6_METHODS
 from repro.experiments.workloads import quick_suite
 from repro.parallel import SweepEngine, SweepResult
@@ -77,7 +78,10 @@ def _assert_identical(sequential: SweepResult, parallel: SweepResult) -> None:
 
 
 def run_macro_benchmark(
-    jobs: int = 4, repeats: int = 3, quick: bool = False
+    jobs: int = 4,
+    repeats: int = 3,
+    quick: bool = False,
+    frame_store_mb: int = 128,
 ) -> dict:
     """Time the reduced fig6 sweep sequentially and at ``jobs`` workers.
 
@@ -85,25 +89,31 @@ def run_macro_benchmark(
     two arms repeat by repeat so drift in background load hits both
     equally; the identity check doubles as the warm-up for each arm
     (worker processes imported, renderer caches populated).
+
+    ``frame_store_mb`` budgets the shared :class:`FrameStore` for the
+    run (0 disables it).  The default comfortably fits the full-grid
+    suite (3 clips × 120 frames × 225 KiB ≈ 80 MiB) so the warm-up's
+    store counters show each frame rendered at most once per worker.
     """
     if jobs < 2:
         raise ValueError("macro-bench needs jobs >= 2 (it compares against jobs=1)")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     methods, suite = _workload(quick)
+    config = PipelineConfig(frame_store_mb=frame_store_mb)
 
     with SweepEngine(jobs=1) as seq_engine, SweepEngine(jobs=jobs) as par_engine:
-        sequential = seq_engine.run(methods, suite)
-        parallel = par_engine.run(methods, suite)
+        sequential = seq_engine.run(methods, suite, config=config)
+        parallel = par_engine.run(methods, suite, config=config)
         _assert_identical(sequential, parallel)
 
         seq_times, par_times = [], []
         for _ in range(repeats):
             start = time.perf_counter()
-            seq_engine.run(methods, suite)
+            seq_engine.run(methods, suite, config=config)
             seq_times.append(time.perf_counter() - start)
             start = time.perf_counter()
-            par_engine.run(methods, suite)
+            par_engine.run(methods, suite, config=config)
             par_times.append(time.perf_counter() - start)
 
     sequential_best = min(seq_times)
@@ -125,6 +135,24 @@ def run_macro_benchmark(
         "speedup": sequential_best / parallel_best,
         "results_identical": True,
         "failures": 0,
+        # Store counters from the warm-up/identity pass (the cold-store
+        # run): misses = frames actually rendered, hits = frames served
+        # from the shared store.  With a budget that fits the suite,
+        # misses stay at ~unique-frames per arm no matter how many
+        # methods rescan each clip.
+        "frame_store": {
+            "budget_mb": frame_store_mb,
+            "sequential": {
+                "hits": sequential.store_hits,
+                "misses": sequential.store_misses,
+                "evicted_bytes": sequential.store_evicted_bytes,
+            },
+            "parallel": {
+                "hits": parallel.store_hits,
+                "misses": parallel.store_misses,
+                "evicted_bytes": parallel.store_evicted_bytes,
+            },
+        },
     }
     return {
         "schema_version": MACRO_SCHEMA_VERSION,
@@ -159,6 +187,7 @@ _REQUIRED_BENCH_KEYS = (
     "speedup",
     "results_identical",
     "failures",
+    "frame_store",
 )
 
 
@@ -204,6 +233,19 @@ def validate_macro_doc(doc: dict, min_speedup: float | None = None) -> list[str]
             )
         if bench["failures"] != 0:
             raise ValueError(f"bench {bench['name']!r} recorded shard failures")
+        store = bench["frame_store"]
+        for key in ("budget_mb", "sequential", "parallel"):
+            if key not in store:
+                raise ValueError(
+                    f"bench {bench['name']!r} frame_store missing key {key!r}"
+                )
+        for arm in ("sequential", "parallel"):
+            for key in ("hits", "misses", "evicted_bytes"):
+                if key not in store[arm]:
+                    raise ValueError(
+                        f"bench {bench['name']!r} frame_store.{arm} "
+                        f"missing key {key!r}"
+                    )
         if min_speedup is not None and bench["speedup"] < min_speedup:
             raise ValueError(
                 f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
@@ -226,5 +268,13 @@ def format_macro_table(doc: dict) -> str:
             f"{bench['jobs']:>5d} {bench['sequential_best_s']:>8.2f}s "
             f"{bench['parallel_best_s']:>8.2f}s {bench['speedup']:>7.2f}x"
         )
+        store = bench.get("frame_store")
+        if store:
+            seq, par = store["sequential"], store["parallel"]
+            lines.append(
+                f"  frame store ({store['budget_mb']} MiB): "
+                f"seq {seq['hits']} hits / {seq['misses']} misses, "
+                f"par {par['hits']} hits / {par['misses']} misses"
+            )
     lines.append(f"(host cpu_count={doc['host']['cpu_count']})")
     return "\n".join(lines)

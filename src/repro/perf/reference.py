@@ -1,10 +1,13 @@
 """Frozen pre-optimisation copies of the vision hot paths.
 
-These are the implementations the repo shipped *before* the perf pass
-(PR "live-executor races & hot-path perf"): the pure-Python occupancy-grid
-suppression that ``good_features_to_track`` used, and the Lucas-Kanade
-iteration loop that resampled every window on every iteration regardless
-of convergence.
+These are the implementations the repo shipped *before* the perf passes:
+the pure-Python occupancy-grid suppression that
+``good_features_to_track`` used, the Lucas-Kanade iteration loop that
+resampled every window on every iteration regardless of convergence
+(both from the PR "live-executor races & hot-path perf"), and the
+meshgrid-everything frame renderer from before the frame-store PR —
+full-grid ``sample_bilinear`` background scroll, per-call warp-table
+RNG construction, and a fresh render of every frame.
 
 They exist for exactly one purpose: the microbenchmark harness
 (:mod:`repro.perf.benches`) times them against the live implementations
@@ -20,6 +23,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry import Box
+from repro.video.objects import SceneObject
+from repro.video.render import (
+    _BACKGROUND_TILE,
+    _TEXTURE_TILE,
+    make_background,
+    make_object_texture,
+    _smooth_noise,
+)
+from repro.video.scene import Scene
 from repro.vision.optical_flow import (
     FlowResult,
     FramePyramid,
@@ -169,3 +182,130 @@ def track_features_reference(
     )
     status = status & inside & (residual <= params.max_residual)
     return FlowResult(points=new_points, status=status, residual=residual)
+
+
+def warp_modulation_reference(
+    seed: int, base_period: float, age: float
+) -> tuple[float, float]:
+    """The pre-frame-store-PR ``_warp_modulation``: a fresh
+    ``default_rng`` built per object per frame to redraw the same
+    frequency/phase tables."""
+    rng = np.random.default_rng(seed ^ 0x3A7B)
+    freqs = rng.uniform(0.6, 1.9, size=3) / base_period
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=6)
+    angle = 2.0 * np.pi * freqs * age
+    mod_u = float(np.sin(angle + phases[:3]).sum() / 3.0)
+    mod_v = float(np.sin(angle + phases[3:]).sum() / 3.0)
+    return mod_u, mod_v
+
+
+class ReferenceFrameRenderer:
+    """The pre-frame-store-PR ``FrameRenderer`` render path, cache stripped.
+
+    Full ``meshgrid`` + :func:`sample_bilinear` background scroll over
+    every H×W point, per-frame warp-table RNG reconstruction, 2-D
+    object-local grids, and out-of-place noise arithmetic.  Texture and
+    warp-field construction are shared with the live renderer (they are
+    scene setup, not the hot path) and cached here exactly as they were
+    then, so timed renders measure per-frame work only.
+    """
+
+    def __init__(self, scene: Scene) -> None:
+        self.scene = scene
+        self._background = make_background(
+            scene.seed ^ 0xBAC4, scene.config.background_contrast
+        )
+        self._textures: dict[int, np.ndarray] = {}
+        self._warp_fields: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _texture_for(self, obj: SceneObject) -> np.ndarray:
+        texture = self._textures.get(obj.object_id)
+        if texture is None:
+            texture = make_object_texture(
+                obj.texture_seed, self.scene.config.object_contrast
+            )
+            self._textures[obj.object_id] = texture
+        return texture
+
+    def _warp_fields_for(self, obj: SceneObject) -> tuple[np.ndarray, np.ndarray]:
+        fields = self._warp_fields.get(obj.object_id)
+        if fields is None:
+            rng = np.random.default_rng(obj.texture_seed ^ 0xDEF0)
+            fields = (
+                _smooth_noise(rng, (_TEXTURE_TILE, _TEXTURE_TILE), sigma=2.5),
+                _smooth_noise(rng, (_TEXTURE_TILE, _TEXTURE_TILE), sigma=2.5),
+            )
+            self._warp_fields[obj.object_id] = fields
+        return fields
+
+    def _render_background(self, frame_index: int) -> np.ndarray:
+        cfg = self.scene.config
+        off_x, off_y = self.scene.camera_offset(frame_index)
+        ys = (np.arange(cfg.frame_height, dtype=np.float64) + off_y) % (
+            _BACKGROUND_TILE - 1
+        )
+        xs = (np.arange(cfg.frame_width, dtype=np.float64) + off_x) % (
+            _BACKGROUND_TILE - 1
+        )
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        return sample_bilinear(self._background, grid_x, grid_y)
+
+    def _paint_object(
+        self, frame: np.ndarray, obj: SceneObject, full_box: Box, frame_index: int
+    ) -> None:
+        cfg = self.scene.config
+        rows, cols = full_box.pixel_slice((cfg.frame_height, cfg.frame_width))
+        if rows.stop <= rows.start or cols.stop <= cols.start:
+            return
+        if full_box.width < 1e-6 or full_box.height < 1e-6:
+            return
+        ys = np.arange(rows.start, rows.stop, dtype=np.float64) + 0.5
+        xs = np.arange(cols.start, cols.stop, dtype=np.float64) + 0.5
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        u = (grid_x - full_box.left) / full_box.width * (_TEXTURE_TILE - 1)
+        v = (grid_y - full_box.top) / full_box.height * (_TEXTURE_TILE - 1)
+        inside = (
+            (u >= 0) & (u <= _TEXTURE_TILE - 1) & (v >= 0) & (v <= _TEXTURE_TILE - 1)
+        )
+        if obj.deform_amp > 0:
+            field_u, field_v = self._warp_fields_for(obj)
+            age = frame_index - obj.spawn_frame
+            mod_u, mod_v = warp_modulation_reference(
+                obj.texture_seed, obj.deform_period, age
+            )
+            amp_u = obj.deform_amp * mod_u * (_TEXTURE_TILE - 1) / full_box.width
+            amp_v = obj.deform_amp * mod_v * (_TEXTURE_TILE - 1) / full_box.height
+            u = u + amp_u * sample_bilinear(field_u, u, v)
+            v = v + amp_v * sample_bilinear(field_v, u, v)
+        texture = self._texture_for(obj)
+        patch = sample_bilinear(texture, u, v)
+        norm_u = u / (_TEXTURE_TILE - 1)
+        norm_v = v / (_TEXTURE_TILE - 1)
+        radius = np.sqrt(((norm_u - 0.5) / 0.5) ** 2 + ((norm_v - 0.5) / 0.5) ** 2)
+        inside &= radius <= 1.0
+        region = frame[rows, cols]
+        frame[rows, cols] = np.where(inside, patch, region)
+
+    def render_frame(self, frame_index: int) -> np.ndarray:
+        """Render from scratch, exactly as the pre-PR ``render`` did on a
+        cache miss (minus the cache bookkeeping)."""
+        cfg = self.scene.config
+        frame = self._render_background(frame_index)
+        drawable = []
+        for obj in self.scene.objects:
+            full = self.scene.full_box(obj, frame_index)
+            if full is None or full.area <= 0:
+                continue
+            clipped = full.intersection(Box(0, 0, cfg.frame_width, cfg.frame_height))
+            if clipped.area <= 0:
+                continue
+            drawable.append((full.area, obj, full))
+        drawable.sort(key=lambda item: item[0])
+        for _, obj, full in drawable:
+            self._paint_object(frame, obj, full, frame_index)
+        if cfg.sensor_noise > 0:
+            noise_rng = np.random.default_rng(
+                (self.scene.seed * 1_000_003 + frame_index) & 0x7FFFFFFF
+            )
+            frame = frame + cfg.sensor_noise * noise_rng.standard_normal(frame.shape)
+        return np.clip(frame, 0.0, 1.0).astype(np.float32)

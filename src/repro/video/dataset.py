@@ -14,6 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.video.framestore import FrameStore
 from repro.video.library import make_scenario
 from repro.video.render import FrameRenderer
 from repro.video.scenario import ScenarioConfig
@@ -69,9 +70,16 @@ def make_clip(
     num_frames: int | None = None,
     name: str | None = None,
     render_cache: int = 64,
+    frame_store: FrameStore | None = None,
     **overrides,
 ) -> VideoClip:
-    """Build a clip from a preset name or an explicit scenario config."""
+    """Build a clip from a preset name or an explicit scenario config.
+
+    ``frame_store`` pins the renderer to a specific shared
+    :class:`~repro.video.framestore.FrameStore`; the default (``None``)
+    resolves the process-wide store at render time, which is inert until
+    someone gives it a byte budget.
+    """
     if isinstance(scenario, str):
         config = make_scenario(scenario, num_frames=num_frames, **overrides)
     else:
@@ -79,7 +87,7 @@ def make_clip(
         if num_frames is not None:
             config = config.with_frames(num_frames)
     scene = Scene(config, seed=seed)
-    renderer = FrameRenderer(scene, cache_size=render_cache)
+    renderer = FrameRenderer(scene, cache_size=render_cache, frame_store=frame_store)
     clip_name = name or f"{config.name}-{seed}"
     return VideoClip(name=clip_name, scene=scene, renderer=renderer)
 

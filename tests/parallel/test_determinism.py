@@ -52,3 +52,33 @@ class TestFig6Determinism:
     def test_report_identical(self, fig6_pair):
         sequential, parallel = fig6_pair
         assert sequential.report() == parallel.report()
+
+
+class TestFrameStoreDeterminism:
+    """The shared frame store may only change *when* frames are rendered,
+    never *what* a sweep computes: fig6 at ``--jobs 2`` with the store
+    enabled must reproduce the store-free sequential run exactly."""
+
+    def test_store_enabled_parallel_matches_plain_sequential(self, fig6_pair):
+        from repro.core.config import PipelineConfig
+        from repro.experiments.fig6_overall import run as run_fig6
+        from repro.experiments.workloads import quick_suite
+        from repro.video.framestore import configure_default
+
+        sequential, _ = fig6_pair  # jobs=1, no store
+        try:
+            stored = run_fig6(
+                suite=quick_suite(frames=60),
+                methods=_REDUCED_METHODS,
+                config=PipelineConfig(frame_store_mb=32),
+                jobs=2,
+            )
+        finally:
+            configure_default(0)  # don't leak the budget into other tests
+        for name in _REDUCED_METHODS:
+            seq, par = sequential.results[name], stored.results[name]
+            assert seq.per_video_accuracy == par.per_video_accuracy
+            assert seq.per_video_mean_f1 == par.per_video_mean_f1
+            assert seq.activity.duration == par.activity.duration
+            assert seq.energy().as_dict() == par.energy().as_dict()
+        assert sequential.report() == stored.report()

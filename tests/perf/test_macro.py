@@ -39,6 +39,31 @@ class TestRunMacroBenchmark:
         assert bench["sequential_best_s"] > 0
         assert bench["parallel_best_s"] > 0
 
+    def test_frame_store_counters(self, macro_doc):
+        """With a budget that fits the suite, the warm-up pass renders
+        each frame at most once per process: a store miss happens only on
+        a frame's first render, so misses are bounded by unique frames
+        (per worker in the parallel arm), no matter how many methods
+        rescan each clip.  Pipelines skip frames, so accessed frames can
+        be fewer than clip length."""
+        bench = macro_doc["benches"][0]
+        store = bench["frame_store"]
+        assert store["budget_mb"] == 128
+        unique_frames = sum(bench["workload"]["frames_per_clip"])
+        seq = store["sequential"]
+        assert 0 < seq["misses"] <= unique_frames
+        assert seq["evicted_bytes"] == 0
+        par = store["parallel"]
+        assert 0 < par["misses"] <= unique_frames * bench["jobs"]
+        assert par["evicted_bytes"] == 0
+
+    def test_disabled_store_records_zero_counters(self):
+        doc = run_macro_benchmark(jobs=2, repeats=1, quick=True, frame_store_mb=0)
+        store = doc["benches"][0]["frame_store"]
+        assert store["budget_mb"] == 0
+        assert store["sequential"] == {"hits": 0, "misses": 0, "evicted_bytes": 0}
+        assert store["parallel"] == {"hits": 0, "misses": 0, "evicted_bytes": 0}
+
     def test_document_is_json_serialisable(self, macro_doc, tmp_path):
         path = tmp_path / "BENCH_macro.json"
         write_bench_json(macro_doc, str(path))

@@ -1,0 +1,205 @@
+"""The shared frame store: budget accounting, LRU order, renderer wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.framestore import (
+    BYTES_PER_MB,
+    FrameStore,
+    configure_default,
+    default_store,
+    scene_fingerprint,
+)
+from repro.video.library import make_scenario
+from repro.video.render import FrameRenderer
+from repro.video.scene import Scene
+
+
+def _frame(nbytes: int, fill: int = 1) -> np.ndarray:
+    return np.full(nbytes, fill, dtype=np.uint8)
+
+
+class TestFrameStoreCore:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FrameStore(-1)
+
+    def test_disabled_store_counts_nothing(self):
+        store = FrameStore(0)
+        assert not store.enabled
+        assert store.get("fp", 0) is None
+        store.put("fp", 0, _frame(16))
+        assert len(store) == 0
+        assert store.hits == 0 and store.misses == 0
+
+    def test_hit_miss_counters_and_roundtrip(self):
+        store = FrameStore(1024)
+        assert store.get("fp", 0) is None
+        frame = _frame(64)
+        store.put("fp", 0, frame)
+        assert store.get("fp", 0) is frame
+        assert store.misses == 1 and store.hits == 1
+
+    def test_stored_frames_are_read_only(self):
+        store = FrameStore(1024)
+        store.put("fp", 0, _frame(64))
+        served = store.get("fp", 0)
+        with pytest.raises(ValueError):
+            served[0] = 99
+
+    def test_first_insert_wins(self):
+        store = FrameStore(1024)
+        first = _frame(64, fill=1)
+        store.put("fp", 0, first)
+        store.put("fp", 0, _frame(64, fill=2))
+        assert store.get("fp", 0) is first
+        assert store.current_bytes == 64
+
+    def test_oversized_frame_not_stored(self):
+        store = FrameStore(32)
+        store.put("fp", 0, _frame(64))
+        assert len(store) == 0
+        assert store.current_bytes == 0
+
+    def test_lru_eviction_order_respects_gets(self):
+        store = FrameStore(3 * 64)
+        for i in range(3):
+            store.put("fp", i, _frame(64))
+        store.get("fp", 0)  # 0 becomes most-recent; 1 is now LRU
+        store.put("fp", 3, _frame(64))
+        assert store.get("fp", 1) is None
+        assert store.get("fp", 0) is not None
+        assert store.evictions == 1
+        assert store.evicted_bytes == 64
+
+    def test_set_budget_shrink_evicts(self):
+        store = FrameStore(4 * 64)
+        for i in range(4):
+            store.put("fp", i, _frame(64))
+        store.set_budget(2 * 64)
+        assert len(store) == 2
+        assert store.current_bytes == 2 * 64
+        # The survivors are the most recently inserted.
+        assert store.get("fp", 2) is not None and store.get("fp", 3) is not None
+
+    def test_set_budget_zero_drops_payload(self):
+        store = FrameStore(1024)
+        store.put("fp", 0, _frame(64))
+        store.set_budget(0)
+        assert len(store) == 0 and store.current_bytes == 0
+        assert not store.enabled
+
+    def test_clear_keeps_budget_and_counters(self):
+        store = FrameStore(1024)
+        store.put("fp", 0, _frame(64))
+        store.get("fp", 0)
+        store.clear()
+        assert len(store) == 0
+        assert store.max_bytes == 1024
+        assert store.hits == 1
+        assert store.stats()["entries"] == 0
+
+    def test_obs_counters_funnelled(self):
+        from repro.obs import InMemorySink, Telemetry
+
+        obs = Telemetry(InMemorySink())
+        store = FrameStore(1024)
+        store.set_obs(obs)
+        store.get("fp", 0)
+        store.put("fp", 0, _frame(64))
+        store.get("fp", 0)
+        obs.flush()
+        counters = {
+            record["name"]: record["value"]
+            for record in obs.sink.last_metrics()
+            if record["kind"] == "counter"
+        }
+        assert counters["framestore.miss"] == 1
+        assert counters["framestore.hit"] == 1
+
+
+class TestByteBudgetProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=512),
+        puts=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),   # frame index
+                st.integers(min_value=1, max_value=256),  # nbytes
+                st.booleans(),                            # get() after put
+            ),
+            max_size=40,
+        ),
+    )
+    def test_never_exceeds_budget_and_accounting_balances(self, budget, puts):
+        store = FrameStore(budget)
+        for index, nbytes, touch in puts:
+            store.put("fp", index, _frame(nbytes))
+            if touch:
+                store.get("fp", index)
+            assert store.current_bytes <= budget
+        # current_bytes must equal the payload actually held.
+        held = sum(
+            store.get("fp", i).nbytes
+            for i in range(13)
+            if store.get("fp", i) is not None
+        )
+        assert store.current_bytes == held
+
+
+class TestSceneFingerprint:
+    def test_same_spec_same_fingerprint(self):
+        a = Scene(make_scenario("boat", num_frames=8), seed=2)
+        b = Scene(make_scenario("boat", num_frames=8), seed=2)
+        assert scene_fingerprint(a) == scene_fingerprint(b)
+
+    def test_differs_by_seed_and_scenario(self):
+        base = Scene(make_scenario("boat", num_frames=8), seed=2)
+        other_seed = Scene(make_scenario("boat", num_frames=8), seed=3)
+        other_scene = Scene(make_scenario("intersection", num_frames=8), seed=2)
+        assert scene_fingerprint(base) != scene_fingerprint(other_seed)
+        assert scene_fingerprint(base) != scene_fingerprint(other_scene)
+
+
+class TestRendererIntegration:
+    def test_store_served_frames_match_direct_render(self):
+        scene = Scene(make_scenario("intersection", num_frames=6), seed=5)
+        store = FrameStore(8 * BYTES_PER_MB)
+        writer = FrameRenderer(scene, cache_size=1, frame_store=store)
+        reader = FrameRenderer(scene, cache_size=1, frame_store=store)
+        direct = FrameRenderer(scene, cache_size=1, frame_store=FrameStore(0))
+        for index in range(6):
+            writer.render(index)
+        for index in range(6):
+            assert np.array_equal(reader.render(index), direct.render_frame(index))
+        assert store.misses == 6
+        assert store.hits == 6
+
+    def test_equal_spec_renderers_share_entries(self):
+        store = FrameStore(8 * BYTES_PER_MB)
+        a = FrameRenderer(
+            Scene(make_scenario("boat", num_frames=4), seed=9),
+            cache_size=1, frame_store=store,
+        )
+        b = FrameRenderer(
+            Scene(make_scenario("boat", num_frames=4), seed=9),
+            cache_size=1, frame_store=store,
+        )
+        a.render(0)
+        b.render(0)
+        assert store.misses == 1 and store.hits == 1
+
+    def test_default_store_resolved_lazily(self):
+        scene = Scene(make_scenario("boat", num_frames=4), seed=9)
+        renderer = FrameRenderer(scene, cache_size=1)
+        try:
+            configure_default(8 * BYTES_PER_MB)
+            assert renderer.frame_store is default_store()
+            renderer.render(0)
+            assert default_store().misses >= 1
+        finally:
+            configure_default(0)

@@ -121,6 +121,30 @@ class TestFrames:
             renderer.render(i)
         assert len(renderer._cache) <= 4
 
+    def test_cache_eviction_is_true_lru(self):
+        """A hit must refresh recency: re-reading frame 0 keeps it cached
+        past the next eviction (the seed dropped by insertion order)."""
+        scene = Scene(make_scenario("boat", num_frames=40), seed=2)
+        renderer = FrameRenderer(scene, cache_size=4)
+        for i in range(4):
+            renderer.render(i)
+        renderer.render(0)  # hit: 0 becomes most-recent, 1 is now LRU
+        renderer.render(4)  # evicts exactly one entry: 1, not 0
+        assert 0 in renderer._cache
+        assert 1 not in renderer._cache
+        assert len(renderer._cache) == 4
+
+    def test_second_pass_all_hits_with_large_cache(self):
+        scene = Scene(make_scenario("boat", num_frames=10), seed=2)
+        renderer = FrameRenderer(scene, cache_size=16)
+        for i in range(10):
+            renderer.render(i)
+        misses = renderer.cache_misses
+        for i in range(10):
+            renderer.render(i)
+        assert renderer.cache_misses == misses
+        assert renderer.cache_hits >= 10
+
     def test_cache_size_must_be_positive(self):
         scene = Scene(make_scenario("boat", num_frames=4), seed=2)
         with pytest.raises(ValueError, match="cache_size"):
