@@ -14,6 +14,8 @@ Usage::
     python -m repro bench                            # hot-path microbenchmarks
     python -m repro bench --quick --output /tmp/b.json  # CI smoke variant
     python -m repro macrobench --jobs 4              # sweep-engine macro-bench
+    python -m repro profile                          # cProfile a short AdaVP run
+    python -m repro profile mpdt-512 --frames 60 --out run.pstats
 
 The figure/table subcommands use reduced default workloads so they finish
 in minutes on a laptop; the benchmark suite (``pytest benchmarks/``) is the
@@ -272,6 +274,24 @@ def _cmd_macrobench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf.profile import profile_method
+
+    report = profile_method(
+        method=args.method,
+        scenario=args.scenario,
+        frames=args.frames,
+        seed=args.seed,
+        top=args.top,
+        sort=args.sort,
+        out=args.out,
+    )
+    print(report, end="")
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -370,6 +390,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="MiB budget for the shared frame store "
                             "(0 disables it for the whole macro-bench)")
     macro.set_defaults(func=_cmd_macrobench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile a short single-clip run and print the top hotspots",
+    )
+    profile.add_argument("method", nargs="?", default="adavp")
+    profile.add_argument("--scenario", default="racetrack")
+    profile.add_argument("--frames", type=int, default=120)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--top", type=int, default=15,
+                         help="number of hotspot rows to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "ncalls"))
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="also dump raw .pstats for later analysis")
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

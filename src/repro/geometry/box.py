@@ -122,7 +122,11 @@ def iou(a: Box, b: Box) -> float:
     union = a.area + b.area - inter
     if union <= 0.0:
         return 0.0
-    return inter / union
+    # Cancellation in ``union`` can land a hair above 1.0 when one box is a
+    # sliver whose area underflows against the other's (e.g. width 1 x
+    # height 1e-5 at a large coordinate).  Clamping is exact for every
+    # in-range ratio, so it cannot perturb a well-conditioned result.
+    return min(inter / union, 1.0)
 
 
 def union_box(boxes: Iterable[Box]) -> Box:
@@ -181,4 +185,6 @@ def iou_matrix(detections: Sequence[Box], truths: Sequence[Box]) -> np.ndarray:
     union = area_d + area_t - inter
     with np.errstate(divide="ignore", invalid="ignore"):
         out = np.where(union > 0.0, inter / union, 0.0)
-    return out
+    # Same sliver-box cancellation guard as ``iou``: exact for every
+    # in-range ratio.
+    return np.minimum(out, 1.0)

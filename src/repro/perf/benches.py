@@ -1,10 +1,11 @@
-"""The microbench suite: the four named hot paths of the tracking stack.
+"""The microbench suite: the named hot paths of the tracking stack.
 
-Each bench times the live implementation over a seeded workload; the two
-optimised-in-place paths (good-features NMS, Lucas-Kanade iteration) are
-also timed against their frozen pre-PR implementations from
-:mod:`repro.perf.reference`, with an output-equality assertion so the
-recorded speedup is a speedup of the *same computation*.
+Each bench times the live implementation over a seeded workload; the
+optimised-in-place paths (good-features NMS, Lucas-Kanade iteration, and
+the fused separable-convolution kernels) are also timed against their
+frozen pre-PR implementations from :mod:`repro.perf.reference`, with an
+output-equality assertion so the recorded speedup is a speedup of the
+*same computation*.
 
 ``quick`` mode shrinks repeats (not workloads) so CI smoke runs finish in
 seconds while timing the identical computation.
@@ -20,7 +21,8 @@ from repro.perf import reference, workloads
 from repro.perf.harness import BenchResult, time_callable
 from repro.video.framestore import FrameStore
 from repro.video.render import FrameRenderer
-from repro.vision.features import suppress_min_distance
+from repro.vision.features import shi_tomasi_response, suppress_min_distance
+from repro.vision.image import gaussian_blur_batched
 from repro.vision.optical_flow import FramePyramid, track_features
 from repro.vision.pyramid_cache import PyramidCache
 
@@ -109,10 +111,142 @@ def bench_lk_track(quick: bool) -> BenchResult:
     )
 
 
+def bench_gaussian_blur(quick: bool) -> BenchResult:
+    """Batched structure-tensor blur vs. three frozen per-channel blurs.
+
+    The Shi-Tomasi window blur is the only multi-channel blur in the
+    pipeline: three ``(h, w)`` tensor products per box, all under the same
+    kernel.  The fused engine pads and sweeps the ``(3, h, w)`` stack once;
+    the reference is three independent allocate-per-tap blurs.
+    """
+    wl = workloads.make_conv_workload()
+    stack = wl.product_stack
+    sigma = wl.window_sigma
+    optimized = gaussian_blur_batched(stack, sigma)
+    for channel in range(stack.shape[0]):
+        expected = reference.gaussian_blur_reference(stack[channel], sigma)
+        if not np.array_equal(optimized[channel], expected):
+            raise AssertionError("batched blur diverged from reference output")
+
+    def batched() -> np.ndarray:
+        return gaussian_blur_batched(stack, sigma)
+
+    def per_channel_reference() -> np.ndarray:
+        out = None
+        for channel in range(stack.shape[0]):
+            out = reference.gaussian_blur_reference(stack[channel], sigma)
+        return out
+
+    repeats, number = _repeats(quick, 20, 3)
+    return BenchResult(
+        name="gaussian_blur",
+        hot_path="repro.vision.image.gaussian_blur_batched",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "stack_shape": list(stack.shape),
+            "sigma": sigma,
+        },
+        optimized=time_callable(batched, repeats, number),
+        reference=time_callable(per_channel_reference, repeats, number),
+        notes=(
+            "one padded (3,h,w) tap sweep into scratch vs. three frozen "
+            "allocate-per-tap separable blurs"
+        ),
+    )
+
+
 def bench_pyramid_build(quick: bool) -> BenchResult:
+    """Fused blur+decimate pyramid construction vs. the frozen builder.
+
+    The per-frame fixed cost of the tracking hot path: every
+    :class:`FramePyramid` pays it on construction.  The fused
+    ``pyramid_down`` computes only the retained ``[::2, ::2]`` samples
+    (~4x fewer MACs per level) through reused scratch; the reference blurs
+    every sample at full resolution, then subsamples.  Gradients are
+    lazy on both sides and not part of construction.
+    """
+    wl = workloads.make_conv_workload()
+    frame, levels = wl.frame, wl.levels
+    optimized = FramePyramid(frame, levels)
+    expected = reference.build_pyramid_reference(frame, levels)
+    if len(optimized.images) != len(expected) or not all(
+        np.array_equal(a, b) for a, b in zip(optimized.images, expected)
+    ):
+        raise AssertionError("fused pyramid build diverged from reference output")
+
+    repeats, number = _repeats(quick, 15)
+    return BenchResult(
+        name="pyramid_build",
+        hot_path="repro.vision.image.pyramid_down",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "frame_shape": list(frame.shape),
+            "levels": levels,
+        },
+        optimized=time_callable(lambda: FramePyramid(frame, levels), repeats, 1),
+        reference=time_callable(
+            lambda: reference.build_pyramid_reference(frame, levels), repeats, 1
+        ),
+        notes=(
+            "decimated tap sweep (only the kept [::2,::2] samples) vs. "
+            "frozen blur-everything-then-subsample"
+        ),
+    )
+
+
+def bench_shi_tomasi_response(quick: bool) -> BenchResult:
+    """Per-box corner response, fused engine vs. frozen reference.
+
+    The tracker runs Shi-Tomasi inside every detected bounding box (paper
+    §IV-C), so the bench sweeps the clip's real annotated-object ROIs —
+    the scale where the shared gradient pad, the batched tensor blur, and
+    ``out=`` eigenvalue arithmetic all land in cache.
+    """
+    wl = workloads.make_conv_workload()
+    for roi in wl.rois:
+        optimized = shi_tomasi_response(roi, wl.window_sigma)
+        expected = reference.shi_tomasi_response_reference(roi, wl.window_sigma)
+        if not np.array_equal(optimized, expected):
+            raise AssertionError("fused Shi-Tomasi diverged from reference output")
+
+    def fused_pass() -> np.ndarray:
+        out = None
+        for roi in wl.rois:
+            out = shi_tomasi_response(roi, wl.window_sigma)
+        return out
+
+    def reference_pass() -> np.ndarray:
+        out = None
+        for roi in wl.rois:
+            out = reference.shi_tomasi_response_reference(roi, wl.window_sigma)
+        return out
+
+    repeats, number = _repeats(quick, 20, 3)
+    return BenchResult(
+        name="shi_tomasi_response",
+        hot_path="repro.vision.features.shi_tomasi_response",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "boxes": len(wl.rois),
+            "roi_shapes": [list(roi.shape) for roi in wl.rois],
+            "sigma": wl.window_sigma,
+        },
+        optimized=time_callable(fused_pass, repeats, number),
+        reference=time_callable(reference_pass, repeats, number),
+        notes=(
+            "per detected-box pass: shared gradient pad + batched tensor "
+            "blur + out= eigenvalue arithmetic vs. frozen out-of-place chain"
+        ),
+    )
+
+
+def bench_pyramid_cache_hit(quick: bool) -> BenchResult:
     """FramePyramid construction (+ gradients) vs. a clip-cache hit.
 
-    The reference is the pre-PR steady state — every tracker generation
+    The reference is the pre-cache steady state — every tracker generation
     rebuilds its seed pyramid from the raw frame; the optimised path is a
     :class:`PyramidCache` hit, which is what a rebuild becomes whenever the
     run's frame access pattern revisits an index.
@@ -138,8 +272,8 @@ def bench_pyramid_build(quick: bool) -> BenchResult:
 
     repeats, number = _repeats(quick, 15)
     return BenchResult(
-        name="pyramid_build",
-        hot_path="repro.vision.optical_flow.FramePyramid",
+        name="pyramid_cache_hit",
+        hot_path="repro.vision.pyramid_cache.PyramidCache",
         workload={
             "scenario": workloads.SCENARIO,
             "seed": workloads.SEED,
@@ -302,10 +436,15 @@ def bench_frame_store_sweep(quick: bool) -> BenchResult:
 # (glibc raises its dynamic mmap threshold), which perturbs later
 # allocation-heavy measurements — the meshgrid render reference most of
 # all.
+# mpdt_cycle stays last: its pipeline run perturbs the allocator state
+# (mmap threshold crossings) enough to bias kernel micro-timings run after it.
 BENCHES = {
     "gft_nms": bench_gft_nms,
     "lk_track": bench_lk_track,
+    "gaussian_blur": bench_gaussian_blur,
     "pyramid_build": bench_pyramid_build,
+    "shi_tomasi_response": bench_shi_tomasi_response,
+    "pyramid_cache_hit": bench_pyramid_cache_hit,
     "render_frame": bench_render_frame,
     "frame_store_sweep": bench_frame_store_sweep,
     "mpdt_cycle": bench_mpdt_cycle,

@@ -127,6 +127,11 @@ def run_macro_benchmark(
             "shards": len(methods) * len(suite),
         },
         "jobs": jobs,
+        # The parallelism the host could actually deliver: a jobs=4 pool on
+        # a single-vCPU container time-slices, it does not parallelise.
+        # Trend tooling must compare speedups at equal effective_parallelism,
+        # not equal jobs.
+        "effective_parallelism": min(jobs, os.cpu_count() or 1),
         "repeats": repeats,
         "sequential_best_s": sequential_best,
         "sequential_mean_s": sum(seq_times) / len(seq_times),
@@ -181,6 +186,7 @@ _REQUIRED_BENCH_KEYS = (
     "name",
     "workload",
     "jobs",
+    "effective_parallelism",
     "repeats",
     "sequential_best_s",
     "parallel_best_s",
@@ -246,11 +252,24 @@ def validate_macro_doc(doc: dict, min_speedup: float | None = None) -> list[str]
                         f"bench {bench['name']!r} frame_store.{arm} "
                         f"missing key {key!r}"
                     )
-        if min_speedup is not None and bench["speedup"] < min_speedup:
-            raise ValueError(
-                f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
-                f"below required {min_speedup:.2f}x"
-            )
+        if min_speedup is not None:
+            cpu_count = doc["host"]["cpu_count"]
+            if isinstance(cpu_count, int) and cpu_count < 2:
+                # A process pool cannot beat the sequential arm without a
+                # second core; gating on speedup here would only certify
+                # scheduler noise.  Log instead of silently passing so CI
+                # transcripts show the gate was waived, not met.
+                print(
+                    f"macro-bench: skipping --min-speedup gate for "
+                    f"{bench['name']!r} (host cpu_count={cpu_count} < 2; "
+                    f"observed {bench['speedup']:.2f}x)",
+                    file=sys.stderr,
+                )
+            elif bench["speedup"] < min_speedup:
+                raise ValueError(
+                    f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
+                    f"below required {min_speedup:.2f}x"
+                )
         names.append(bench["name"])
     if len(set(names)) != len(names):
         raise ValueError("macro-bench names are not unique")

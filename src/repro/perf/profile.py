@@ -1,0 +1,71 @@
+"""cProfile harness for a short single-clip pipeline run.
+
+``repro profile`` answers "where does the wall-clock actually go?" before
+anyone reaches for an optimisation: it runs one method over one seeded
+clip under :mod:`cProfile` and prints the top cumulative-time hotspots.
+The micro/macro benches then quantify the paths this surfaces.
+
+Deliberately not exported from :mod:`repro.perf` — the experiment imports
+it drags in are heavier than the bench harness, and the CLI loads it
+lazily like every other subcommand.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+_SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def profile_method(
+    method: str = "adavp",
+    scenario: str = "racetrack",
+    frames: int = 120,
+    seed: int = 7,
+    top: int = 15,
+    sort: str = "cumulative",
+    out: str | None = None,
+) -> str:
+    """Profile one method over one procedural clip; return the report text.
+
+    The workload matches the micro-bench defaults (racetrack, seed 7) so
+    hotspot ranks line up with the bench names.  ``out`` additionally
+    dumps raw ``.pstats`` for ``snakeviz``/``pstats`` spelunking.
+    """
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    if sort not in _SORT_KEYS:
+        raise ValueError(f"sort must be one of {', '.join(_SORT_KEYS)}")
+
+    # Import inside the call: building the method registry pulls in the
+    # experiment stack, which no other perf entry point needs.
+    from repro.experiments.runners import make_method, run_method_on_clip
+    from repro.video.dataset import make_clip
+
+    clip = make_clip(scenario, seed=seed, num_frames=frames)
+    runner = make_method(method)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_method_on_clip(runner, clip)
+    finally:
+        profiler.disable()
+
+    if out is not None:
+        profiler.dump_stats(out)
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort)
+    stats.print_stats(top)
+    sources = result.source_counts()
+    header = (
+        f"profile: method={method} scenario={scenario} frames={frames} "
+        f"seed={seed} sources={sources}\n"
+    )
+    return header + buffer.getvalue()

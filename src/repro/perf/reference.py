@@ -4,10 +4,14 @@ These are the implementations the repo shipped *before* the perf passes:
 the pure-Python occupancy-grid suppression that
 ``good_features_to_track`` used, the Lucas-Kanade iteration loop that
 resampled every window on every iteration regardless of convergence
-(both from the PR "live-executor races & hot-path perf"), and the
+(both from the PR "live-executor races & hot-path perf"), the
 meshgrid-everything frame renderer from before the frame-store PR —
 full-grid ``sample_bilinear`` background scroll, per-call warp-table
-RNG construction, and a fresh render of every frame.
+RNG construction, and a fresh render of every frame — and the
+allocate-per-tap separable convolution stack (kernel build, reflect
+pad, ``out += k * padded[...]`` loop, blur-everything-then-subsample
+pyramid level, three separate structure-tensor blurs) from before the
+fused-engine PR.
 
 They exist for exactly one purpose: the microbenchmark harness
 (:mod:`repro.perf.benches`) times them against the live implementations
@@ -40,6 +44,106 @@ from repro.vision.optical_flow import (
     _window_grid,
 )
 from repro.vision.image import sample_bilinear
+
+
+def _gaussian_kernel1d_reference(sigma: float, radius: int | None = None) -> np.ndarray:
+    """The pre-fused-engine kernel builder: rebuilt on every call."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if radius is None:
+        radius = max(1, int(round(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs * xs) / (2.0 * sigma * sigma))
+    return kernel / kernel.sum()
+
+
+def _convolve1d_reflect_reference(
+    image: np.ndarray, kernel: np.ndarray, axis: int
+) -> np.ndarray:
+    """The pre-fused-engine tap loop: a fresh ``np.pad`` per axis and a
+    fresh ``k * padded[...]`` array per tap."""
+    radius = len(kernel) // 2
+    pad = [(0, 0), (0, 0)]
+    pad[axis] = (radius, radius)
+    padded = np.pad(image, pad, mode="reflect")
+    out = np.zeros_like(image, dtype=np.float64)
+    for i, k in enumerate(kernel):
+        if axis == 0:
+            out += k * padded[i : i + image.shape[0], :]
+        else:
+            out += k * padded[:, i : i + image.shape[1]]
+    return out
+
+
+def gaussian_blur_reference(image: np.ndarray, sigma: float) -> np.ndarray:
+    """The pre-fused-engine separable Gaussian blur."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("gaussian_blur expects a 2-D image")
+    kernel = _gaussian_kernel1d_reference(sigma)
+    return _convolve1d_reflect_reference(
+        _convolve1d_reflect_reference(image, kernel, 0), kernel, 1
+    )
+
+
+_SCHARR_DERIV_REFERENCE = np.array([-1.0, 0.0, 1.0]) / 2.0
+_SCHARR_SMOOTH_REFERENCE = np.array([3.0, 10.0, 3.0]) / 16.0
+
+
+def image_gradients_reference(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The pre-fused-engine Scharr gradients: four independent padded
+    convolutions per frame."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("image_gradients expects a 2-D image")
+    ix = _convolve1d_reflect_reference(
+        _convolve1d_reflect_reference(image, _SCHARR_DERIV_REFERENCE, 1),
+        _SCHARR_SMOOTH_REFERENCE,
+        0,
+    )
+    iy = _convolve1d_reflect_reference(
+        _convolve1d_reflect_reference(image, _SCHARR_DERIV_REFERENCE, 0),
+        _SCHARR_SMOOTH_REFERENCE,
+        1,
+    )
+    return ix, iy
+
+
+def pyramid_down_reference(image: np.ndarray) -> np.ndarray:
+    """The pre-fused-engine pyramid level: blur every sample at full
+    resolution, then throw three quarters of them away."""
+    image = np.asarray(image, dtype=np.float64)
+    if min(image.shape) < 2:
+        raise ValueError("image too small to downsample")
+    blurred = gaussian_blur_reference(image, sigma=1.0)
+    return blurred[::2, ::2]
+
+
+def build_pyramid_reference(image: np.ndarray, levels: int) -> list[np.ndarray]:
+    """The pre-fused-engine pyramid builder."""
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    pyramid = [np.asarray(image, dtype=np.float64)]
+    for _ in range(levels - 1):
+        current = pyramid[-1]
+        if min(current.shape) < 16:
+            break
+        pyramid.append(pyramid_down_reference(current))
+    return pyramid
+
+
+def shi_tomasi_response_reference(
+    image: np.ndarray, window_sigma: float = 1.5
+) -> np.ndarray:
+    """The pre-fused-engine corner response: three separate full blurs of
+    the structure-tensor products, all arithmetic out-of-place."""
+    ix, iy = image_gradients_reference(image)
+    sxx = gaussian_blur_reference(ix * ix, window_sigma)
+    syy = gaussian_blur_reference(iy * iy, window_sigma)
+    sxy = gaussian_blur_reference(ix * iy, window_sigma)
+    trace_half = (sxx + syy) / 2.0
+    disc = np.sqrt(np.maximum(((sxx - syy) / 2.0) ** 2 + sxy * sxy, 0.0))
+    return trace_half - disc
 
 
 def suppress_min_distance_reference(

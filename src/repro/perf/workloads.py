@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.vision.features import shi_tomasi_response, good_features_to_track
+from repro.vision.image import image_gradients
 from repro.vision.optical_flow import FramePyramid, LKParams
 from repro.video.dataset import VideoClip, make_clip
 
@@ -53,6 +54,49 @@ class LKWorkload:
     frame_b: np.ndarray
     points: np.ndarray
     params: LKParams
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """Inputs for the fused-convolution benches, at the scales the
+    pipeline actually runs them.
+
+    ``frame`` feeds the pyramid-build bench (full frame, the per-frame
+    cost); ``rois`` are the frame's annotated object boxes — the tracker
+    runs Shi-Tomasi per box (paper §IV-C), so the response bench sweeps
+    exactly those crops; ``product_stack`` is one ROI's ``(3, h, w)``
+    structure-tensor products — the batched-blur bench's input.
+    """
+
+    frame: np.ndarray
+    levels: int
+    rois: tuple[np.ndarray, ...]
+    product_stack: np.ndarray
+    window_sigma: float
+
+
+def make_conv_workload(window_sigma: float = 1.5) -> ConvWorkload:
+    """Frame 0 of the bench clip plus its annotated-object ROIs."""
+    params = LKParams()
+    clip = bench_clip()
+    frame = np.asarray(clip.frame(0), dtype=np.float64)
+    rois = []
+    for obj in clip.annotation(0).objects:
+        rows, cols = obj.box.pixel_slice(frame.shape)
+        roi = frame[rows, cols].copy()  # own the memory; benches reuse it
+        if roi.shape[0] >= 6 and roi.shape[1] >= 6:  # tracker's ROI floor
+            rois.append(roi)
+    if not rois:
+        raise RuntimeError("conv workload found no usable annotation boxes")
+    ix, iy = image_gradients(rois[0])
+    product_stack = np.stack([ix * ix, iy * iy, ix * iy])
+    return ConvWorkload(
+        frame=frame,
+        levels=params.pyramid_levels,
+        rois=tuple(rois),
+        product_stack=product_stack,
+        window_sigma=window_sigma,
+    )
 
 
 def bench_clip(num_frames: int = 12) -> VideoClip:

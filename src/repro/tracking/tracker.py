@@ -49,6 +49,10 @@ class TrackerConfig:
     max_features_per_object: int = 10
     quality_level: float = 0.05
     min_distance: float = 3.0
+    # Pixels excluded at each ROI edge during good-features extraction.
+    # ROI-edge responses straddle the box boundary (part background), so
+    # corners found there track the background, not the object.
+    feature_border: int = 1
     lk: LKParams = field(default_factory=LKParams)
     per_object_motion: bool = True
     min_box_dim: float = 3.0
@@ -75,6 +79,8 @@ class TrackerConfig:
     def __post_init__(self) -> None:
         if self.max_features_per_object < 1:
             raise ValueError("max_features_per_object must be >= 1")
+        if self.feature_border < 0:
+            raise ValueError("feature_border must be >= 0")
         if self.feature_detector not in ("good_features", "fast"):
             raise ValueError(
                 f"unknown feature detector {self.feature_detector!r}"
@@ -198,7 +204,7 @@ class ObjectTracker:
                 max_corners=self.config.max_features_per_object,
                 quality_level=self.config.quality_level,
                 min_distance=self.config.min_distance,
-                border=1,
+                border=self.config.feature_border,
             )
         if corners.shape[0] == 0:
             return corners

@@ -18,6 +18,7 @@ paper's tracking-degradation behaviour emerge rather than being scripted.
 
 from repro.vision.image import (
     gaussian_blur,
+    gaussian_blur_batched,
     image_gradients,
     pyramid_down,
     build_pyramid,
@@ -35,6 +36,7 @@ from repro.vision.pyramid_cache import PyramidCache
 
 __all__ = [
     "gaussian_blur",
+    "gaussian_blur_batched",
     "image_gradients",
     "pyramid_down",
     "build_pyramid",

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.vision.image import gaussian_blur, image_gradients
+from repro.vision.image import (
+    _image_gradients_into,
+    _scratch_buffer,
+    gaussian_blur_batched,
+)
 
 
 def shi_tomasi_response(image: np.ndarray, window_sigma: float = 1.5) -> np.ndarray:
@@ -21,15 +25,44 @@ def shi_tomasi_response(image: np.ndarray, window_sigma: float = 1.5) -> np.ndar
     The structure tensor ``[[Sxx, Sxy], [Sxy, Syy]]`` is the gradient outer
     product smoothed over a Gaussian window; its smaller eigenvalue is the
     Shi-Tomasi "cornerness".
+
+    This is the fused-engine pipeline of DESIGN.md §10: gradients land in
+    scratch, the three tensor products are stacked ``(3, H, W)`` and blurred
+    in one batched call, and the eigenvalue arithmetic runs ``out=``-style
+    through scratch — the same float operations in the same order as the
+    frozen reference, so the response is bit-identical.
     """
-    ix, iy = image_gradients(image)
-    sxx = gaussian_blur(ix * ix, window_sigma)
-    syy = gaussian_blur(iy * iy, window_sigma)
-    sxy = gaussian_blur(ix * iy, window_sigma)
-    trace_half = (sxx + syy) / 2.0
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("image_gradients expects a 2-D image")
+    h, w = image.shape
+    ix = _scratch_buffer("st.ix", (h, w))
+    iy = _scratch_buffer("st.iy", (h, w))
+    _image_gradients_into(image, ix, iy)
+    products = _scratch_buffer("st.products", (3, h, w))
+    np.multiply(ix, ix, out=products[0])
+    np.multiply(iy, iy, out=products[1])
+    np.multiply(ix, iy, out=products[2])
+    smoothed = gaussian_blur_batched(
+        products, window_sigma, out=_scratch_buffer("st.smoothed", (3, h, w))
+    )
+    sxx, syy, sxy = smoothed[0], smoothed[1], smoothed[2]
+    trace_half = _scratch_buffer("st.trace", (h, w))
+    np.add(sxx, syy, out=trace_half)
+    trace_half /= 2.0
+    disc = _scratch_buffer("st.disc", (h, w))
+    np.subtract(sxx, syy, out=disc)
+    disc /= 2.0
+    np.multiply(disc, disc, out=disc)
+    cross = _scratch_buffer("st.cross", (h, w))
+    np.multiply(sxy, sxy, out=cross)
+    disc += cross
     # Guard the sqrt against tiny negative values from floating-point error.
-    disc = np.sqrt(np.maximum(((sxx - syy) / 2.0) ** 2 + sxy * sxy, 0.0))
-    return trace_half - disc
+    np.maximum(disc, 0.0, out=disc)
+    np.sqrt(disc, out=disc)
+    out = np.empty((h, w), dtype=np.float64)
+    np.subtract(trace_half, disc, out=out)
+    return out
 
 
 def good_features_to_track(
@@ -45,7 +78,9 @@ def good_features_to_track(
     Returns an ``(N, 2)`` array of ``(x, y)`` pixel coordinates.  ``mask``
     (same shape as ``image``, truthy = allowed) restricts detection; AdaVP
     masks everything outside the DNN-detected bounding boxes so features are
-    only extracted on objects (paper §V).
+    only extracted on objects (paper §V).  ``border`` pixels at each edge
+    are excluded; an image whose every pixel falls inside the border strips
+    (``min(shape) <= 2 * border``) yields no corners.
     """
     image = np.asarray(image, dtype=np.float64)
     if image.ndim != 2:
@@ -54,13 +89,22 @@ def good_features_to_track(
         raise ValueError("max_corners must be >= 1")
     if not 0 < quality_level <= 1:
         raise ValueError("quality_level must be in (0, 1]")
+    if border < 0:
+        # A negative border used to flip the zeroing slices and exclude the
+        # image *interior* instead of its rim.
+        raise ValueError("border must be >= 0")
 
     response = shi_tomasi_response(image)
     if border > 0:
-        response[:border, :] = 0.0
-        response[-border:, :] = 0.0
-        response[:, :border] = 0.0
-        response[:, -border:] = 0.0
+        if min(image.shape) <= 2 * border:
+            # The border strips cover the whole image; nothing can qualify
+            # (the empty return below still validates the mask first).
+            response[:, :] = 0.0
+        else:
+            response[:border, :] = 0.0
+            response[-border:, :] = 0.0
+            response[:, :border] = 0.0
+            response[:, -border:] = 0.0
     if mask is not None:
         mask = np.asarray(mask)
         if mask.shape != image.shape:

@@ -69,6 +69,13 @@ class FramePyramid:
     Tracking frame ``i`` to ``i+1`` and then ``i+1`` to ``i+2`` reuses the
     middle frame's pyramid, which roughly halves per-step cost — the same
     optimisation OpenCV exposes via ``buildOpticalFlowPyramid``.
+
+    Gradients are memoised per level: the first ``gradients(level)`` call
+    computes them, every later one — across LK levels, repeated
+    ``track_features`` calls, and tracker generations sharing a pyramid
+    through the clip cache — returns the stored pair.  The memo is a pure
+    function of the (immutable) pyramid images, so a hit is bit-identical
+    to a recompute.
     """
 
     def __init__(self, image: np.ndarray, levels: int) -> None:
@@ -91,6 +98,16 @@ class FramePyramid:
             cached = image_gradients(self.images[level])
             self._gradients[level] = cached
         return cached
+
+    def warm_gradients(self) -> None:
+        """Materialise every level's gradient memo (idempotent).
+
+        Lets a builder (e.g. :class:`~repro.vision.pyramid_cache.PyramidCache`
+        with warming enabled) pay the gradient cost up front, off the
+        consumer's critical path.
+        """
+        for level in range(self.levels):
+            self.gradients(level)
 
 
 @dataclass(frozen=True, slots=True)

@@ -32,12 +32,20 @@ from repro.vision.optical_flow import FramePyramid
 
 
 class PyramidCache:
-    """LRU cache mapping ``(frame_index, levels)`` to a built pyramid."""
+    """LRU cache mapping ``(frame_index, levels)`` to a built pyramid.
 
-    def __init__(self, capacity: int = 4) -> None:
+    ``warm_gradients=True`` makes a miss also materialise every level's
+    gradient memo before the pyramid is published, moving that cost from
+    the first Lucas-Kanade consumer onto the builder (still outside the
+    lock).  Off by default: a warmed pyramid is bit-identical to a lazy
+    one, so this only shifts *when* gradients are computed.
+    """
+
+    def __init__(self, capacity: int = 4, warm_gradients: bool = False) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.warm_gradients = warm_gradients
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
@@ -64,6 +72,8 @@ class PyramidCache:
         # Build outside the lock: construction is the expensive part and
         # must not serialise against readers of other keys.
         pyramid = FramePyramid(frame_provider(frame_index), levels)
+        if self.warm_gradients:
+            pyramid.warm_gradients()
         with self._lock:
             self.misses += 1
             self._entries[key] = pyramid

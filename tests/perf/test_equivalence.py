@@ -102,3 +102,148 @@ class TestRenderEquivalence:
         # reads it; both must reproduce the reference bit-for-bit.
         assert _warp_modulation(seed, 24.0, age) == expected
         assert _warp_modulation(seed, 24.0, age) == expected
+
+
+class TestConvEquivalence:
+    """The fused separable-convolution engine (batched tap sweeps, scratch
+    reuse, blur+decimate pyramid) against the frozen allocate-per-tap
+    references.  Shapes cover odd/even extents, the batch-dispatch
+    threshold, and the tiny-image reflect-pad fallback; sigmas cover
+    radius 2 through 9."""
+
+    SHAPES = [(180, 320), (181, 321), (64, 48), (17, 33), (8, 8)]
+    SIGMAS = [0.5, 1.0, 1.5, 3.0]
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("sigma", SIGMAS)
+    def test_gaussian_blur_bitwise_identical(self, shape, sigma):
+        from repro.vision.image import gaussian_blur
+
+        rng = np.random.default_rng(hash(shape) % 2**32)
+        image = rng.standard_normal(shape)  # negatives and near-zeros included
+        assert np.array_equal(
+            gaussian_blur(image, sigma),
+            reference.gaussian_blur_reference(image, sigma),
+        )
+
+    @pytest.mark.parametrize("channels, shape", [(3, (21, 41)), (4, (180, 320))])
+    @pytest.mark.parametrize("sigma", [0.5, 1.5, 3.0])
+    def test_batched_blur_matches_reference_per_channel(self, channels, shape, sigma):
+        """Both dispatch arms — the (3,21,41) stack stays under the batch
+        threshold, the (4,180,320) stack goes through the per-channel
+        loop — must match the frozen single-image blur."""
+        from repro.vision.image import gaussian_blur_batched
+
+        rng = np.random.default_rng(99)
+        stack = rng.random((channels, *shape))
+        out = gaussian_blur_batched(stack, sigma)
+        for c in range(channels):
+            assert np.array_equal(
+                out[c], reference.gaussian_blur_reference(stack[c], sigma)
+            ), f"channel {c} diverged"
+
+    @pytest.mark.parametrize(
+        "shape", [(180, 320), (181, 321), (64, 48), (17, 33), (2, 2), (3, 3)]
+    )
+    def test_pyramid_down_bitwise_identical(self, shape):
+        from repro.vision.image import pyramid_down
+
+        rng = np.random.default_rng(5)
+        image = rng.random(shape)
+        assert np.array_equal(
+            pyramid_down(image), reference.pyramid_down_reference(image)
+        )
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4])
+    @pytest.mark.parametrize("shape", [(180, 320), (181, 321)])
+    def test_build_pyramid_bitwise_identical(self, levels, shape):
+        from repro.vision.image import build_pyramid
+
+        rng = np.random.default_rng(11)
+        image = rng.random(shape)
+        got = build_pyramid(image, levels)
+        expected = reference.build_pyramid_reference(image, levels)
+        assert len(got) == len(expected)
+        for level, (a, b) in enumerate(zip(got, expected)):
+            assert np.array_equal(a, b), f"level {level} diverged"
+
+    @pytest.mark.parametrize(
+        "shape", [(180, 320), (17, 33), (2, 9), (9, 2), (1, 9), (9, 1), (1, 1)]
+    )
+    def test_image_gradients_bitwise_identical(self, shape):
+        """Including degenerate 1-pixel axes, where reflect padding
+        becomes edge replication."""
+        from repro.vision.image import image_gradients
+
+        rng = np.random.default_rng(23)
+        image = rng.standard_normal(shape)
+        gx, gy = image_gradients(image)
+        ex, ey = reference.image_gradients_reference(image)
+        assert np.array_equal(gx, ex)
+        assert np.array_equal(gy, ey)
+
+    @pytest.mark.parametrize("window_sigma", [1.0, 1.5, 2.5])
+    def test_shi_tomasi_bitwise_identical_on_bench_rois(self, window_sigma):
+        from repro.vision.features import shi_tomasi_response
+
+        wl = workloads.make_conv_workload(window_sigma=window_sigma)
+        for roi in wl.rois:
+            assert np.array_equal(
+                shi_tomasi_response(roi, window_sigma),
+                reference.shi_tomasi_response_reference(roi, window_sigma),
+            )
+
+    def test_shi_tomasi_bitwise_identical_full_frame(self):
+        from repro.vision.features import shi_tomasi_response
+
+        wl = workloads.make_conv_workload()
+        assert np.array_equal(
+            shi_tomasi_response(wl.frame),
+            reference.shi_tomasi_response_reference(wl.frame),
+        )
+
+    def test_good_features_masked_and_unmasked_unchanged(self):
+        """good_features_to_track is downstream of every fused kernel; its
+        selections on the bench frame (with and without a mask) must be
+        what the frozen response produces."""
+        from repro.vision.features import (
+            good_features_to_track,
+            suppress_min_distance,
+        )
+
+        wl = workloads.make_conv_workload()
+        frame = wl.frame
+        mask = np.zeros(frame.shape, dtype=bool)
+        mask[40:140, 60:260] = True
+        for use_mask in (False, True):
+            got = good_features_to_track(
+                frame,
+                max_corners=80,
+                quality_level=0.02,
+                min_distance=3.0,
+                mask=mask if use_mask else None,
+            )
+            # Recompute the selection from the frozen response chain.
+            response = reference.shi_tomasi_response_reference(frame)
+            response[:1, :] = response[-1:, :] = 0.0
+            response[:, :1] = response[:, -1:] = 0.0
+            if use_mask:
+                response[~mask] = 0.0
+            peak = float(response.max())
+            assert peak > 0.0
+            ys, xs = np.nonzero(response > peak * 0.02)
+            order = np.argsort(response[ys, xs])[::-1]
+            expected = suppress_min_distance(
+                xs[order], ys[order], frame.shape, 3.0, 80
+            )
+            assert np.array_equal(got, expected)
+
+    def test_workload_rois_match_annotations(self):
+        """The conv workload's ROIs are real annotated boxes of the bench
+        frame (the scale the tracker actually runs Shi-Tomasi at)."""
+        wl = workloads.make_conv_workload()
+        assert len(wl.rois) >= 1
+        assert wl.product_stack.shape == (3, *wl.rois[0].shape)
+        for roi in wl.rois:
+            assert roi.shape[0] >= 6 and roi.shape[1] >= 6
+            assert roi.base is None  # owns its memory; benches reuse it

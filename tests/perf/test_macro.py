@@ -34,6 +34,11 @@ class TestRunMacroBenchmark:
         assert bench["workload"]["shards"] == len(bench["workload"]["methods"]) * len(
             bench["workload"]["clips"]
         )
+        # The honesty field: a jobs=2 pool cannot deliver more parallelism
+        # than the host has cores.
+        assert bench["effective_parallelism"] == min(
+            2, macro_doc["host"]["cpu_count"]
+        )
         assert bench["results_identical"] is True
         assert bench["failures"] == 0
         assert bench["sequential_best_s"] > 0
@@ -111,9 +116,36 @@ class TestValidateMacroDoc:
         with pytest.raises(ValueError, match="non-positive"):
             validate_macro_doc(doc)
 
+    def test_rejects_missing_effective_parallelism(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        del doc["benches"][0]["effective_parallelism"]
+        with pytest.raises(ValueError, match="effective_parallelism"):
+            validate_macro_doc(doc)
+
     def test_min_speedup_gate(self, macro_doc):
         doc = copy.deepcopy(macro_doc)
+        # Pin a multi-core host: the gate only applies where a pool can win.
+        doc["host"]["cpu_count"] = 4
         doc["benches"][0]["speedup"] = 1.2
         with pytest.raises(ValueError, match="below required"):
             validate_macro_doc(doc, min_speedup=1.7)
         validate_macro_doc(doc, min_speedup=1.0)
+
+    def test_min_speedup_gate_skipped_on_single_core(self, macro_doc, capsys):
+        """On a 1-vCPU host the gate is waived, not failed — and the
+        waiver is logged so CI transcripts show it was skipped."""
+        doc = copy.deepcopy(macro_doc)
+        doc["host"]["cpu_count"] = 1
+        doc["benches"][0]["speedup"] = 0.8
+        assert validate_macro_doc(doc, min_speedup=1.7) == [MACRO_BENCH_NAME]
+        captured = capsys.readouterr()
+        assert "skipping --min-speedup gate" in captured.err
+        assert "cpu_count=1" in captured.err
+
+    def test_min_speedup_gate_enforced_on_multi_core(self, macro_doc, capsys):
+        doc = copy.deepcopy(macro_doc)
+        doc["host"]["cpu_count"] = 2
+        doc["benches"][0]["speedup"] = 0.8
+        with pytest.raises(ValueError, match="below required"):
+            validate_macro_doc(doc, min_speedup=1.7)
+        assert "skipping" not in capsys.readouterr().err

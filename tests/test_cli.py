@@ -26,9 +26,24 @@ class TestParser:
             ["table", "2", "--jobs", "2"],
             ["macrobench"],
             ["macrobench", "--quick", "--jobs", "2", "--min-speedup", "1.7"],
+            ["profile"],
+            ["profile", "mpdt-512", "--frames", "30", "--top", "5"],
+            ["profile", "adavp", "--sort", "tottime", "--out", "p.pstats"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.method == "adavp"
+        assert args.scenario == "racetrack"
+        assert args.frames == 120
+        assert args.sort == "cumulative"
+        assert args.out is None
+
+    def test_profile_rejects_unknown_sort(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--sort", "calls"])
 
     def test_jobs_defaults(self):
         parser = build_parser()
@@ -107,6 +122,31 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "render.cache_miss" in out
+
+    def test_profile_smoke(self, capsys):
+        assert main(
+            ["profile", "adavp", "--scenario", "boat", "--frames", "20",
+             "--top", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile: method=adavp" in out
+        assert "cumulative" in out  # pstats sort header
+        assert "run_method_on_clip" in out  # the profiled entry point
+
+    def test_profile_writes_pstats(self, capsys, tmp_path):
+        import pstats
+
+        path = tmp_path / "run.pstats"
+        assert main(
+            ["profile", "mpdt-512", "--scenario", "boat", "--frames", "20",
+             "--top", "3", "--out", str(path)]
+        ) == 0
+        stats = pstats.Stats(str(path))  # loads or raises
+        assert stats.total_calls > 0
+
+    def test_profile_rejects_bad_frames(self):
+        with pytest.raises(ValueError, match="frames"):
+            main(["profile", "--frames", "0"])
 
     def test_macrobench_quick(self, capsys, tmp_path):
         import json

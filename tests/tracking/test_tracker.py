@@ -176,6 +176,29 @@ class TestLagModel:
         with pytest.raises(ValueError):
             TrackerConfig(lag_jitter=-0.1)
 
+    def test_invalid_feature_border_rejected(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(feature_border=-1)
+
+    def test_feature_border_default_matches_previous_hardcoded(self, clip):
+        """feature_border=1 is the pre-knob behaviour; seeding with an
+        explicit 1 must reproduce the default exactly."""
+        explicit, _ = seed_tracker(clip, TrackerConfig(feature_border=1))
+        default, _ = seed_tracker(clip)
+        assert explicit.track_to(2).detections == default.track_to(2).detections
+
+    def test_oversized_feature_border_triggers_centre_fallback(self, clip):
+        """A border that swallows every ROI finds no corners — degenerate
+        but must not raise (regression: flipped slices used to select
+        features from exactly the excluded strip).  Each object then gets
+        only its centre-point fallback feature."""
+        tracker, detections = seed_tracker(
+            clip, TrackerConfig(feature_border=10_000)
+        )
+        assert tracker.num_features == len(detections)
+        centres = {tuple(d.box.center) for d in detections}
+        assert {tuple(p) for p in tracker._points} == centres
+
     def test_lag_deterministic_in_seed(self, clip):
         def run(seed):
             ann = clip.annotation(0)

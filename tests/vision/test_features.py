@@ -92,3 +92,43 @@ class TestGoodFeatures:
             good_features_to_track(image, quality_level=1.5)
         with pytest.raises(ValueError):
             good_features_to_track(np.zeros((4, 4, 3)))
+
+
+class TestBorderValidation:
+    """Regression tests for degenerate ``border`` values.
+
+    Before the fix, a negative border flipped the zeroing slices into
+    keeping only the border (selecting corners from exactly the region
+    the caller asked to exclude), and a border of at least half the image
+    produced crossing slices whose behaviour depended on the overlap
+    arithmetic rather than on intent."""
+
+    def test_negative_border_raises(self):
+        with pytest.raises(ValueError, match="border"):
+            good_features_to_track(checkerboard(), border=-1)
+
+    def test_border_consuming_whole_image_returns_empty(self):
+        image = checkerboard()  # 60 x 80
+        for border in (30, 31, 40, 1000):  # >= half the smaller extent
+            corners = good_features_to_track(image, max_corners=50, border=border)
+            assert corners.shape == (0, 2), f"border={border}"
+
+    def test_border_just_below_half_still_detects_interior(self):
+        image = checkerboard(shape=(60, 80), cell=10)
+        corners = good_features_to_track(image, max_corners=50, border=29)
+        # One valid interior row band remains; anything found obeys it.
+        for x, y in corners:
+            assert 29 <= x < 80 - 29
+            assert 29 <= y < 60 - 29
+
+    def test_zero_border_detects_everywhere(self):
+        corners = good_features_to_track(checkerboard(), max_corners=100, border=0)
+        assert len(corners) > 0
+
+    def test_mask_mismatch_still_raises_with_huge_border(self):
+        # Argument validation must not be short-circuited by the
+        # empty-result fast path.
+        with pytest.raises(ValueError):
+            good_features_to_track(
+                checkerboard(), border=1000, mask=np.ones((3, 3), dtype=bool)
+            )

@@ -6,6 +6,7 @@ import pytest
 from repro.vision.image import (
     build_pyramid,
     gaussian_blur,
+    gaussian_blur_batched,
     image_gradients,
     pyramid_down,
     sample_bilinear,
@@ -37,6 +38,67 @@ class TestGaussianBlur:
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             gaussian_blur(np.zeros((5, 5, 3)), sigma=1.0)
+
+
+class TestBatchedBlur:
+    def test_matches_per_channel(self):
+        rng = np.random.default_rng(3)
+        stack = rng.random((3, 18, 22))
+        batched = gaussian_blur_batched(stack, sigma=1.5)
+        for c in range(3):
+            assert np.array_equal(batched[c], gaussian_blur(stack[c], sigma=1.5))
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            gaussian_blur_batched(np.zeros((5, 5)), sigma=1.0)
+        with pytest.raises(ValueError):
+            gaussian_blur_batched(np.zeros((2, 5, 5, 3)), sigma=1.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_blur_batched(np.zeros((2, 5, 5)), sigma=0.0)
+
+    def test_out_parameter_filled_and_returned(self):
+        rng = np.random.default_rng(4)
+        stack = rng.random((2, 12, 14))
+        out = np.empty_like(stack)
+        result = gaussian_blur_batched(stack, sigma=1.0, out=out)
+        assert result is out
+        assert np.array_equal(out, gaussian_blur_batched(stack, sigma=1.0))
+
+    def test_results_are_fresh_arrays(self):
+        """Returned arrays must never alias the internal scratch pool —
+        two successive calls must not share memory."""
+        rng = np.random.default_rng(5)
+        stack = rng.random((3, 12, 14))
+        first = gaussian_blur_batched(stack, sigma=1.0)
+        keep = first.copy()
+        gaussian_blur_batched(rng.random((3, 12, 14)), sigma=1.0)
+        assert np.array_equal(first, keep)
+
+    def test_thread_safety_matches_serial(self):
+        """The scratch pool is thread-local; concurrent blurs of distinct
+        inputs must equal their serial results bit-for-bit."""
+        import threading
+
+        rng = np.random.default_rng(6)
+        inputs = [rng.random((3, 20, 24)) for _ in range(8)]
+        expected = [gaussian_blur_batched(s, sigma=1.5) for s in inputs]
+        results = [None] * len(inputs)
+
+        def work(index):
+            for _ in range(5):
+                results[index] = gaussian_blur_batched(inputs[index], sigma=1.5)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(len(inputs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got, want in zip(results, expected):
+            assert np.array_equal(got, want)
 
 
 class TestGradients:
@@ -84,6 +146,17 @@ class TestPyramid:
     def test_build_pyramid_rejects_zero_levels(self):
         with pytest.raises(ValueError):
             build_pyramid(np.zeros((16, 16)), levels=0)
+
+    def test_pyramid_down_tiny_images(self):
+        """2x2 and 3x3 take the reflect-pad fallback (kernel radius 3
+        exceeds the image extent) and must still decimate cleanly."""
+        rng = np.random.default_rng(7)
+        assert pyramid_down(rng.random((2, 2))).shape == (1, 1)
+        assert pyramid_down(rng.random((3, 3))).shape == (2, 2)
+
+    def test_pyramid_down_rejects_sub_2x2(self):
+        with pytest.raises(ValueError):
+            pyramid_down(np.zeros((1, 8)))
 
 
 class TestBilinear:

@@ -123,6 +123,42 @@ class TestFramePyramid:
         with pytest.raises(ValueError):
             FramePyramid(np.zeros((4, 4, 3)), 2)
 
+    def test_warm_gradients_materialises_every_level(self, base_image):
+        pyramid = FramePyramid(base_image, 3)
+        pyramid.warm_gradients()
+        warmed = [pyramid.gradients(level) for level in range(pyramid.levels)]
+        # Idempotent: a second warm returns the same memoised arrays.
+        pyramid.warm_gradients()
+        for level, (ix, iy) in enumerate(warmed):
+            again_ix, again_iy = pyramid.gradients(level)
+            assert ix is again_ix and iy is again_iy
+
+    def test_warm_gradients_bit_identical_to_lazy(self, base_image):
+        warmed = FramePyramid(base_image, 3)
+        warmed.warm_gradients()
+        lazy = FramePyramid(base_image, 3)
+        for level in range(lazy.levels):
+            wx, wy = warmed.gradients(level)
+            lx, ly = lazy.gradients(level)
+            assert np.array_equal(wx, lx)
+            assert np.array_equal(wy, ly)
+
+
+class TestPyramidCacheWarming:
+    def test_warming_flag_prefills_gradient_memo(self, base_image):
+        from repro.vision.pyramid_cache import PyramidCache
+
+        warm = PyramidCache(capacity=2, warm_gradients=True)
+        cold = PyramidCache(capacity=2)
+        provider = lambda _index: base_image  # noqa: E731 - tiny fixture closure
+        warm_pyr = warm.get(0, 3, provider)
+        cold_pyr = cold.get(0, 3, provider)
+        for level in range(3):
+            wx, wy = warm_pyr.gradients(level)
+            cx, cy = cold_pyr.gradients(level)
+            assert np.array_equal(wx, cx)
+            assert np.array_equal(wy, cy)
+
 
 class TestParams:
     @pytest.mark.parametrize(
