@@ -14,6 +14,8 @@ Usage::
     python -m repro bench                            # hot-path microbenchmarks
     python -m repro bench --quick --output /tmp/b.json  # CI smoke variant
     python -m repro macrobench --jobs 4              # sweep-engine macro-bench
+    python -m repro serve --streams 500 --seconds 5  # multi-stream serving sim
+    python -m repro servebench --quick               # serving-fleet SLO ladder
     python -m repro profile                          # cProfile a short AdaVP run
     python -m repro profile mpdt-512 --frames 60 --out run.pstats
 
@@ -274,6 +276,76 @@ def _cmd_macrobench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServeConfig
+
+    kwargs = {}
+    if getattr(args, "slo", None) is not None:
+        kwargs["slo_realtime_s"] = args.slo
+    return ServeConfig(
+        duration_s=args.seconds,
+        warmup_s=args.warmup,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        **kwargs,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import fleet_configs, serve_fleet
+
+    telemetry, jsonl = _build_telemetry(args)
+    report = serve_fleet(
+        fleet_configs(
+            args.streams, seed=args.seed, realtime_fraction=args.realtime_frac
+        ),
+        _serve_config(args),
+        obs=telemetry,
+    )
+    print(report.summary())
+    # The replay-identity handle: two same-seed invocations must print
+    # the same digest (compared verbatim by the CI serve-smoke job).
+    print(f"digest:   {report.digest()}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report:   wrote {args.json}", file=sys.stderr)
+    if telemetry is not None:
+        telemetry.flush()
+        if jsonl is not None:
+            jsonl.close()
+            print(f"trace:    wrote {args.trace}", file=sys.stderr)
+        if getattr(args, "obs", False):
+            print()
+            print(telemetry.summary())
+    return 0
+
+
+def _cmd_servebench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.perf import format_macro_table, validate_macro_doc, write_bench_json
+    from repro.serve.bench import merge_serve_bench, run_serve_benchmark
+
+    bench = run_serve_benchmark(quick=args.quick, seed=args.seed)
+    existing = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+    doc = merge_serve_bench(existing, bench, quick=args.quick)
+    validate_macro_doc(doc, min_sustained_streams=args.min_sustained)
+    write_bench_json(doc, args.output)
+    print(format_macro_table(doc))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.perf.profile import profile_method
 
@@ -390,6 +462,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="MiB budget for the shared frame store "
                             "(0 disables it for the whole macro-bench)")
     macro.set_defaults(func=_cmd_macrobench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate N camera streams on one shared detector "
+             "(deterministic; same seed => same digest)",
+    )
+    serve.add_argument("--streams", type=int, default=64)
+    serve.add_argument("--seconds", type=float, default=10.0,
+                       help="simulated (virtual-time) duration")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--realtime-frac", type=float, default=0.25,
+                       help="fraction of streams in the realtime QoS class")
+    serve.add_argument("--warmup", type=float, default=0.0,
+                       help="exclude requests submitted before this instant "
+                            "from wait/SLO statistics")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--slo", type=float, default=None,
+                       help="realtime admission-wait SLO in seconds")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump the full fleet report as JSON")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="export telemetry (spans + metrics) as JSONL")
+    serve.add_argument("--obs", action="store_true",
+                       help="print a telemetry summary after the run")
+    serve.set_defaults(func=_cmd_serve)
+
+    servebench = sub.add_parser(
+        "servebench",
+        help="climb the serving-fleet ladder and record sustained streams "
+             "at the realtime p99 SLO in BENCH_macro.json",
+    )
+    servebench.add_argument("--quick", action="store_true",
+                            help="shorter ladder and runs (CI smoke)")
+    servebench.add_argument("--seed", type=int, default=7)
+    servebench.add_argument("--output", metavar="PATH", default="BENCH_macro.json")
+    servebench.add_argument("--min-sustained", type=int, default=None,
+                            help="fail unless the ladder sustains at least this "
+                                 "many streams (the CI gate; host-independent)")
+    servebench.set_defaults(func=_cmd_servebench)
 
     profile = sub.add_parser(
         "profile",

@@ -430,6 +430,46 @@ def bench_frame_store_sweep(quick: bool) -> BenchResult:
     )
 
 
+def bench_serve_scheduler(quick: bool) -> BenchResult:
+    """One serving-layer fleet tick-through: 32 streams, 4 simulated seconds.
+
+    Times the pure scheduling machinery (event queue, admission queue,
+    batch assembly, per-stream adaptation) — no pixels, no reference arm
+    (the subsystem is new, there is no pre-PR implementation to freeze).
+    The correctness gate is the serve layer's own invariant: two seeded
+    runs must produce bit-identical report digests before timing starts.
+    """
+    from repro.serve import ServeConfig, fleet_configs, serve_fleet
+
+    num_streams = 32
+    config = ServeConfig(duration_s=4.0, warmup_s=1.0)
+
+    def fleet_run():
+        return serve_fleet(fleet_configs(num_streams, seed=7), config)
+
+    first, second = fleet_run(), fleet_run()
+    if first.digest() != second.digest():
+        raise AssertionError("serve scheduler replay diverged between seeded runs")
+
+    repeats, number = _repeats(quick, 10)
+    return BenchResult(
+        name="serve_scheduler",
+        hot_path="repro.serve.scheduler.ServeScheduler",
+        workload={
+            "streams": num_streams,
+            "duration_s": config.duration_s,
+            "seed": 7,
+            "events": first.events_fired,
+        },
+        optimized=time_callable(fleet_run, repeats, number),
+        notes=(
+            "event-driven fleet scheduling in virtual time; no reference arm "
+            "(new subsystem), gated on bit-identical replay instead"
+        ),
+        extra={"served": first.served, "batches": first.batches},
+    )
+
+
 # Registry order is execution order for the default run.  The kernel
 # benches run first and ``mpdt_cycle`` last: a full pipeline run churns
 # enough large transient buffers to shift the allocator's steady state
@@ -447,6 +487,7 @@ BENCHES = {
     "pyramid_cache_hit": bench_pyramid_cache_hit,
     "render_frame": bench_render_frame,
     "frame_store_sweep": bench_frame_store_sweep,
+    "serve_scheduler": bench_serve_scheduler,
     "mpdt_cycle": bench_mpdt_cycle,
 }
 

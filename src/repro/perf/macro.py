@@ -33,6 +33,27 @@ MACRO_SCHEMA_VERSION = 1
 MACRO_SUITE_NAME = "repro-macro"
 MACRO_BENCH_NAME = "fig6_reduced_sweep"
 
+# Benches carry a ``kind`` key that selects their validation rules;
+# entries written before the key existed are sweep-shaped.
+_DEFAULT_BENCH_KIND = "sweep"
+
+
+def new_macro_document(quick: bool, benches: list[dict] | None = None) -> dict:
+    """An empty ``BENCH_macro.json`` skeleton with host metadata."""
+    return {
+        "schema_version": MACRO_SCHEMA_VERSION,
+        "suite": MACRO_SUITE_NAME,
+        "quick": quick,
+        "created_unix": time.time(),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benches": benches or [],
+    }
+
 _QUICK_METHODS = ("adavp", "mpdt-320", "mpdt-608", "no-tracking-320")
 
 
@@ -120,6 +141,7 @@ def run_macro_benchmark(
     parallel_best = min(par_times)
     bench = {
         "name": MACRO_BENCH_NAME,
+        "kind": "sweep",
         "workload": {
             "methods": list(methods),
             "clips": [clip.name for clip in suite],
@@ -159,19 +181,7 @@ def run_macro_benchmark(
             },
         },
     }
-    return {
-        "schema_version": MACRO_SCHEMA_VERSION,
-        "suite": MACRO_SUITE_NAME,
-        "quick": quick,
-        "created_unix": time.time(),
-        "host": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
-        "benches": [bench],
-    }
+    return new_macro_document(quick=quick, benches=[bench])
 
 
 _REQUIRED_TOP_KEYS = (
@@ -182,7 +192,7 @@ _REQUIRED_TOP_KEYS = (
     "host",
     "benches",
 )
-_REQUIRED_BENCH_KEYS = (
+_REQUIRED_SWEEP_BENCH_KEYS = (
     "name",
     "workload",
     "jobs",
@@ -195,15 +205,136 @@ _REQUIRED_BENCH_KEYS = (
     "failures",
     "frame_store",
 )
+_REQUIRED_SERVE_BENCH_KEYS = (
+    "name",
+    "kind",
+    "workload",
+    "slo_realtime_s",
+    "rungs",
+    "sustained_streams",
+    "results_identical",
+    "failures",
+)
+_REQUIRED_SERVE_RUNG_KEYS = (
+    "streams",
+    "realtime_wait_p99_s",
+    "served_per_sim_second",
+    "wall_s",
+    "digest",
+)
 
 
-def validate_macro_doc(doc: dict, min_speedup: float | None = None) -> list[str]:
+def _validate_sweep_bench(bench: dict, doc: dict, min_speedup: float | None) -> None:
+    for key in _REQUIRED_SWEEP_BENCH_KEYS:
+        if key not in bench:
+            raise ValueError(
+                f"bench {bench.get('name', '<unnamed>')!r} missing key {key!r}"
+            )
+    for key in ("sequential_best_s", "parallel_best_s", "speedup"):
+        value = bench[key]
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"bench {bench['name']!r} has non-positive {key}")
+    if bench["jobs"] < 2:
+        raise ValueError(f"bench {bench['name']!r} has jobs < 2")
+    store = bench["frame_store"]
+    for key in ("budget_mb", "sequential", "parallel"):
+        if key not in store:
+            raise ValueError(
+                f"bench {bench['name']!r} frame_store missing key {key!r}"
+            )
+    for arm in ("sequential", "parallel"):
+        for key in ("hits", "misses", "evicted_bytes"):
+            if key not in store[arm]:
+                raise ValueError(
+                    f"bench {bench['name']!r} frame_store.{arm} "
+                    f"missing key {key!r}"
+                )
+    if min_speedup is not None:
+        cpu_count = doc["host"]["cpu_count"]
+        if isinstance(cpu_count, int) and cpu_count < 2:
+            # A process pool cannot beat the sequential arm without a
+            # second core; gating on speedup here would only certify
+            # scheduler noise.  Log instead of silently passing so CI
+            # transcripts show the gate was waived, not met.
+            print(
+                f"macro-bench: skipping --min-speedup gate for "
+                f"{bench['name']!r} (host cpu_count={cpu_count} < 2; "
+                f"observed {bench['speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+        elif bench["speedup"] < min_speedup:
+            raise ValueError(
+                f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
+                f"below required {min_speedup:.2f}x"
+            )
+
+
+def _validate_serve_bench(
+    bench: dict, min_sustained_streams: int | None
+) -> None:
+    for key in _REQUIRED_SERVE_BENCH_KEYS:
+        if key not in bench:
+            raise ValueError(
+                f"bench {bench.get('name', '<unnamed>')!r} missing key {key!r}"
+            )
+    slo = bench["slo_realtime_s"]
+    if not isinstance(slo, (int, float)) or slo <= 0:
+        raise ValueError(f"bench {bench['name']!r} has non-positive slo_realtime_s")
+    rungs = bench["rungs"]
+    if not isinstance(rungs, list) or not rungs:
+        raise ValueError(f"bench {bench['name']!r} has no rungs")
+    last_streams = 0
+    for rung in rungs:
+        for key in _REQUIRED_SERVE_RUNG_KEYS:
+            if key not in rung:
+                raise ValueError(
+                    f"bench {bench['name']!r} rung missing key {key!r}"
+                )
+        if rung["streams"] <= last_streams:
+            raise ValueError(
+                f"bench {bench['name']!r} rungs are not strictly increasing"
+            )
+        last_streams = rung["streams"]
+        p99 = rung["realtime_wait_p99_s"]
+        if p99 is not None and (not isinstance(p99, (int, float)) or p99 < 0):
+            raise ValueError(
+                f"bench {bench['name']!r} rung {rung['streams']} has a "
+                f"negative realtime_wait_p99_s"
+            )
+    sustained = bench["sustained_streams"]
+    if not isinstance(sustained, int) or sustained < 0:
+        raise ValueError(
+            f"bench {bench['name']!r} sustained_streams must be a non-negative int"
+        )
+    if sustained and sustained not in {rung["streams"] for rung in rungs}:
+        raise ValueError(
+            f"bench {bench['name']!r} sustained_streams {sustained} "
+            f"is not one of its rungs"
+        )
+    # The ladder runs in virtual time, so unlike the sweep speedup gate
+    # this one never depends on host parallelism — no cpu_count waiver.
+    if min_sustained_streams is not None and sustained < min_sustained_streams:
+        raise ValueError(
+            f"bench {bench['name']!r} sustained {sustained} streams at the "
+            f"realtime p99 SLO, below required {min_sustained_streams}"
+        )
+
+
+def validate_macro_doc(
+    doc: dict,
+    min_speedup: float | None = None,
+    min_sustained_streams: int | None = None,
+) -> list[str]:
     """Schema check for ``BENCH_macro.json``; returns the bench names.
 
-    ``min_speedup`` is the CI gate: on multi-core runners the sweep-smoke
-    job asserts the pool actually pays for itself.  It is optional because
-    the document is also written on hosts where parallel wall-clock wins
-    are impossible (see ``host.cpu_count``).
+    Validation dispatches on each bench's ``kind`` (``"sweep"`` when
+    absent).  ``min_speedup`` is the sweep CI gate: on multi-core runners
+    the sweep-smoke job asserts the pool actually pays for itself; it is
+    optional because the document is also written on hosts where parallel
+    wall-clock wins are impossible (see ``host.cpu_count``).
+    ``min_sustained_streams`` is the serve CI gate: the serve-smoke job
+    asserts the scheduler still sustains a floor fleet size at the
+    realtime p99 SLO (host-independent — the ladder runs in virtual time).
     """
     if not isinstance(doc, dict):
         raise ValueError("macro-bench document must be a JSON object")
@@ -222,58 +353,67 @@ def validate_macro_doc(doc: dict, min_speedup: float | None = None) -> list[str]
         raise ValueError("macro-bench document has no benches")
     names = []
     for bench in doc["benches"]:
-        for key in _REQUIRED_BENCH_KEYS:
-            if key not in bench:
-                raise ValueError(
-                    f"bench {bench.get('name', '<unnamed>')!r} missing key {key!r}"
-                )
-        for key in ("sequential_best_s", "parallel_best_s", "speedup"):
-            value = bench[key]
-            if not isinstance(value, (int, float)) or value <= 0:
-                raise ValueError(f"bench {bench['name']!r} has non-positive {key}")
-        if bench["jobs"] < 2:
-            raise ValueError(f"bench {bench['name']!r} has jobs < 2")
+        kind = bench.get("kind", _DEFAULT_BENCH_KIND)
+        if "results_identical" not in bench or "failures" not in bench:
+            raise ValueError(
+                f"bench {bench.get('name', '<unnamed>')!r} missing "
+                f"results_identical/failures"
+            )
         if bench["results_identical"] is not True:
             raise ValueError(
                 f"bench {bench['name']!r} was not asserted result-identical"
             )
         if bench["failures"] != 0:
-            raise ValueError(f"bench {bench['name']!r} recorded shard failures")
-        store = bench["frame_store"]
-        for key in ("budget_mb", "sequential", "parallel"):
-            if key not in store:
-                raise ValueError(
-                    f"bench {bench['name']!r} frame_store missing key {key!r}"
-                )
-        for arm in ("sequential", "parallel"):
-            for key in ("hits", "misses", "evicted_bytes"):
-                if key not in store[arm]:
-                    raise ValueError(
-                        f"bench {bench['name']!r} frame_store.{arm} "
-                        f"missing key {key!r}"
-                    )
-        if min_speedup is not None:
-            cpu_count = doc["host"]["cpu_count"]
-            if isinstance(cpu_count, int) and cpu_count < 2:
-                # A process pool cannot beat the sequential arm without a
-                # second core; gating on speedup here would only certify
-                # scheduler noise.  Log instead of silently passing so CI
-                # transcripts show the gate was waived, not met.
-                print(
-                    f"macro-bench: skipping --min-speedup gate for "
-                    f"{bench['name']!r} (host cpu_count={cpu_count} < 2; "
-                    f"observed {bench['speedup']:.2f}x)",
-                    file=sys.stderr,
-                )
-            elif bench["speedup"] < min_speedup:
-                raise ValueError(
-                    f"bench {bench['name']!r} speedup {bench['speedup']:.2f}x "
-                    f"below required {min_speedup:.2f}x"
-                )
+            raise ValueError(f"bench {bench['name']!r} recorded failures")
+        if kind == "sweep":
+            _validate_sweep_bench(bench, doc, min_speedup)
+        elif kind == "serve":
+            _validate_serve_bench(bench, min_sustained_streams)
+        else:
+            raise ValueError(
+                f"bench {bench.get('name', '<unnamed>')!r} has unknown "
+                f"kind {kind!r}"
+            )
         names.append(bench["name"])
     if len(set(names)) != len(names):
         raise ValueError("macro-bench names are not unique")
     return names
+
+
+def _format_sweep_bench(bench: dict) -> list[str]:
+    lines = [
+        f"{bench['name']:20s} {bench['workload']['shards']:>6d} "
+        f"{bench['jobs']:>5d} {bench['sequential_best_s']:>8.2f}s "
+        f"{bench['parallel_best_s']:>8.2f}s {bench['speedup']:>7.2f}x"
+    ]
+    store = bench.get("frame_store")
+    if store:
+        seq, par = store["sequential"], store["parallel"]
+        lines.append(
+            f"  frame store ({store['budget_mb']} MiB): "
+            f"seq {seq['hits']} hits / {seq['misses']} misses, "
+            f"par {par['hits']} hits / {par['misses']} misses"
+        )
+    return lines
+
+
+def _format_serve_bench(bench: dict) -> list[str]:
+    lines = [
+        f"{bench['name']:20s} sustains {bench['sustained_streams']} streams "
+        f"at realtime p99 <= {bench['slo_realtime_s']:g}s"
+    ]
+    for rung in bench["rungs"]:
+        p99 = rung["realtime_wait_p99_s"]
+        p99_text = "   n/a" if p99 is None else f"{p99 * 1e3:5.0f}ms"
+        sustained = (
+            " <- sustained" if rung["streams"] == bench["sustained_streams"] else ""
+        )
+        lines.append(
+            f"  {rung['streams']:>4d} streams: realtime p99 {p99_text}, "
+            f"{rung['served_per_sim_second']:5.1f} served/s, "
+            f"wall {rung['wall_s']:.2f}s{sustained}"
+        )
+    return lines
 
 
 def format_macro_table(doc: dict) -> str:
@@ -282,18 +422,10 @@ def format_macro_table(doc: dict) -> str:
         f"{'bench':20s} {'shards':>6s} {'jobs':>5s} {'seq':>9s} {'par':>9s} {'speedup':>8s}"
     ]
     for bench in doc["benches"]:
-        lines.append(
-            f"{bench['name']:20s} {bench['workload']['shards']:>6d} "
-            f"{bench['jobs']:>5d} {bench['sequential_best_s']:>8.2f}s "
-            f"{bench['parallel_best_s']:>8.2f}s {bench['speedup']:>7.2f}x"
-        )
-        store = bench.get("frame_store")
-        if store:
-            seq, par = store["sequential"], store["parallel"]
-            lines.append(
-                f"  frame store ({store['budget_mb']} MiB): "
-                f"seq {seq['hits']} hits / {seq['misses']} misses, "
-                f"par {par['hits']} hits / {par['misses']} misses"
-            )
+        kind = bench.get("kind", _DEFAULT_BENCH_KIND)
+        if kind == "serve":
+            lines.extend(_format_serve_bench(bench))
+        else:
+            lines.extend(_format_sweep_bench(bench))
     lines.append(f"(host cpu_count={doc['host']['cpu_count']})")
     return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Serving-layer macrobench: streams sustained at the realtime p99 SLO.
+
+Where the sweep macrobench asks "how much faster is the pool", this one
+asks the serving question: **how many concurrent streams can one shared
+detector carry while realtime admission latency stays inside its SLO?**
+It climbs a ladder of fleet sizes, measures the post-warmup realtime
+admission-wait p99 at each rung, and reports ``sustained_streams`` — the
+largest rung whose p99 meets ``slo_realtime_s``.
+
+Because the scheduler runs in virtual time on the deterministic event
+queue, every rung's report digest — and therefore ``sustained_streams``
+itself — is a pure function of the seeds, identical on any host.  The
+identity gate reruns the sustained rung and asserts digest equality
+(``results_identical``), the serve analogue of the sweep macrobench's
+bit-identical two-arm check.  Only ``wall_s`` varies across machines.
+
+The bench lands in ``BENCH_macro.json`` next to the sweep bench with
+``kind: "serve"``; :func:`repro.perf.macro.validate_macro_doc`
+dispatches validation (and the CI ``--min-sustained`` gate) on that key.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.report import FleetReport
+from repro.serve.scheduler import ServeConfig, fleet_configs, serve_fleet
+
+SERVE_BENCH_NAME = "serve_fleet_ladder"
+SERVE_BENCH_KIND = "serve"
+
+# Rung ladders bracket the knee: p99 holds near one batch service while
+# the realtime subfleet fits the detector, then queueing blows it up.
+_QUICK_RUNGS = (8, 16, 32, 64)
+_FULL_RUNGS = (16, 32, 64, 128, 256, 512)
+
+
+def _ladder_config(quick: bool) -> tuple[tuple[int, ...], ServeConfig]:
+    if quick:
+        return _QUICK_RUNGS, ServeConfig(duration_s=6.0, warmup_s=2.0)
+    return _FULL_RUNGS, ServeConfig(duration_s=12.0, warmup_s=4.0)
+
+
+def _run_rung(streams: int, seed: int, config: ServeConfig) -> tuple[FleetReport, float]:
+    start = time.perf_counter()
+    report = serve_fleet(fleet_configs(streams, seed=seed), config)
+    return report, time.perf_counter() - start
+
+
+def _rung_entry(streams: int, report: FleetReport, wall_s: float) -> dict:
+    realtime = report.classes["realtime"]
+    best_effort = report.classes["best_effort"]
+    return {
+        "streams": streams,
+        "realtime_wait_p99_s": realtime.wait_p99_s,
+        "realtime_slo_attainment": realtime.slo_attainment,
+        "best_effort_wait_p99_s": best_effort.wait_p99_s,
+        "served_per_sim_second": report.served_per_sim_second,
+        "submitted": report.submitted,
+        "served": report.served,
+        "dropped": report.dropped,
+        "peak_depth": report.peak_depth,
+        "degrade_events": report.degrade_events,
+        "recover_events": report.recover_events,
+        "wall_s": wall_s,
+        "digest": report.digest(),
+    }
+
+
+def _rung_sustains(entry: dict, slo_s: float) -> bool:
+    """A rung sustains the SLO iff it measured realtime waits and met p99."""
+    p99 = entry["realtime_wait_p99_s"]
+    return p99 is not None and p99 <= slo_s
+
+
+def run_serve_benchmark(
+    quick: bool = False,
+    seed: int = 7,
+    config: ServeConfig | None = None,
+    rungs: tuple[int, ...] | None = None,
+) -> dict:
+    """Climb the fleet ladder and return the serve bench entry.
+
+    Every rung runs to completion (no early exit past the knee — the
+    over-the-knee p99s are the interesting trend data), then the
+    sustained rung is rerun for the digest-identity gate.
+    """
+    default_rungs, default_config = _ladder_config(quick)
+    if rungs is None:
+        rungs = default_rungs
+    if config is None:
+        config = default_config
+    if not rungs or sorted(set(rungs)) != list(rungs):
+        raise ValueError("rungs must be strictly increasing and non-empty")
+
+    entries = []
+    for streams in rungs:
+        report, wall_s = _run_rung(streams, seed, config)
+        entries.append(_rung_entry(streams, report, wall_s))
+
+    sustained = 0
+    sustained_entry = None
+    for entry in entries:
+        if _rung_sustains(entry, config.slo_realtime_s):
+            sustained = entry["streams"]
+            sustained_entry = entry
+    # Identity gate: rerun one rung (the sustained one, else the first)
+    # and require a bit-identical report digest.
+    identity_entry = sustained_entry or entries[0]
+    rerun_report, _ = _run_rung(identity_entry["streams"], seed, config)
+    results_identical = rerun_report.digest() == identity_entry["digest"]
+
+    return {
+        "name": SERVE_BENCH_NAME,
+        "kind": SERVE_BENCH_KIND,
+        "workload": {
+            "seed": seed,
+            "duration_s": config.duration_s,
+            "warmup_s": config.warmup_s,
+            "max_batch": config.max_batch,
+            "queue_depth": config.queue_depth,
+            "realtime_fraction": 0.25,
+            "rungs": list(rungs),
+        },
+        "slo_realtime_s": config.slo_realtime_s,
+        "slo_best_effort_s": config.slo_best_effort_s,
+        "rungs": entries,
+        "sustained_streams": sustained,
+        "results_identical": results_identical,
+        "failures": 0 if results_identical else 1,
+    }
+
+
+def merge_serve_bench(doc: dict | None, bench: dict, quick: bool) -> dict:
+    """Insert/replace the serve bench in a ``BENCH_macro.json`` document.
+
+    With no existing document (or a non-mergeable one) a fresh macro doc
+    is built around the bench; otherwise the serve entry is replaced in
+    place so the sweep bench's numbers survive a servebench-only rerun.
+    """
+    from repro.perf.macro import new_macro_document
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("benches"), list):
+        doc = new_macro_document(quick=quick)
+    doc["benches"] = [
+        entry for entry in doc["benches"] if entry.get("name") != bench["name"]
+    ] + [bench]
+    doc["created_unix"] = time.time()
+    return doc

@@ -1,0 +1,119 @@
+"""Latency models for the fleet's one shared detector.
+
+The serving layer does not rerun the pixel-level detector — contention is
+about *time*, so what the scheduler needs is a deterministic service-time
+model.  :class:`SharedDetectorModel` charges the paper's per-profile
+latencies (:mod:`repro.detection.profiles`) with a batching discount:
+stacking ``k`` same-size inputs costs far less than ``k`` sequential
+invocations because the weights are read once and the GPU stays saturated
+(the marginal input costs ``batch_discount`` of a full pass).
+
+Determinism: jitter is keyed on the head request's ``(stream_id,
+frame_index)`` plus the profile and batch size — a pure function of the
+batch content, never of wall-clock or call order, so a seeded serve run
+replays bit-identically.
+
+:class:`SpikyDetectorModel` wraps any model with periodic latency spikes
+(a GC pause, a thermal throttle, a co-tenant burst) for the
+fault-injection tests: the spike schedule is a pure function of virtual
+time, so even the faults replay deterministically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.detection.profiles import get_profile
+from repro.serve.admission import DetectionRequest
+
+
+class BatchDetectorModel(Protocol):
+    """Anything that can price a homogeneous-setting batch, in seconds."""
+
+    def batch_latency(
+        self, batch: Sequence[DetectionRequest], now: float
+    ) -> float: ...
+
+
+@dataclass(frozen=True, slots=True)
+class SharedDetectorModel:
+    """Profile-calibrated batch service time with deterministic jitter."""
+
+    seed: int = 0
+    # Marginal cost of each extra same-size input in a batch, as a
+    # fraction of the profile's base latency.
+    batch_discount: float = 0.35
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.batch_discount <= 1.0:
+            raise ValueError("batch_discount must be in [0, 1]")
+
+    def batch_latency(
+        self, batch: Sequence[DetectionRequest], now: float
+    ) -> float:
+        if not batch:
+            raise ValueError("cannot price an empty batch")
+        profile = get_profile(batch[0].setting)
+        for request in batch:
+            if request.setting != batch[0].setting:
+                raise ValueError(
+                    "batch is not homogeneous: "
+                    f"{request.setting!r} != {batch[0].setting!r}"
+                )
+        total_objects = sum(request.num_objects for request in batch)
+        latency = (
+            profile.base_latency * (1.0 + self.batch_discount * (len(batch) - 1))
+            + profile.per_object_latency * total_objects
+        )
+        if self.jitter:
+            head = batch[0]
+            name_tag = zlib.crc32(profile.name.encode()) & 0xFFFF
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.seed,
+                    spawn_key=(head.stream_id, head.frame_index, name_tag, len(batch)),
+                )
+            )
+            latency *= float(np.exp(rng.normal(0.0, profile.latency_jitter)))
+        return latency
+
+
+@dataclass(frozen=True, slots=True)
+class SpikyDetectorModel:
+    """Fault injection: multiply latency inside periodic spike windows.
+
+    Every ``period_s`` of virtual time the first ``spike_duration_s`` are
+    a spike, during which the wrapped model's latency is multiplied by
+    ``spike_factor``.  ``offset_s`` shifts the schedule so tests can put
+    a spike exactly where they want one.
+    """
+
+    inner: BatchDetectorModel
+    period_s: float = 5.0
+    spike_duration_s: float = 1.0
+    spike_factor: float = 6.0
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0 <= self.spike_duration_s <= self.period_s:
+            raise ValueError("spike_duration_s must be within one period")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1 (use inner model directly)")
+
+    def in_spike(self, now: float) -> bool:
+        return (now - self.offset_s) % self.period_s < self.spike_duration_s
+
+    def batch_latency(
+        self, batch: Sequence[DetectionRequest], now: float
+    ) -> float:
+        latency = self.inner.batch_latency(batch, now)
+        if self.in_spike(now):
+            latency *= self.spike_factor
+        return latency

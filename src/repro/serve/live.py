@@ -1,0 +1,125 @@
+"""Threaded batch-drain frontend for the admission queue.
+
+The deterministic scheduler drives the :class:`AdmissionQueue`
+single-threaded; :class:`BatchServeExecutor` is the other consumer shape
+— N worker threads draining batches concurrently while arbitrary
+producer threads submit — used where the serving layer meets real
+concurrency (and by the stress tests, which hammer it the way
+``tests/runtime/test_stress_live.py`` hammers the live pipeline).
+
+Contract (mirroring ``LiveExecutor``): every admitted request is served
+exactly once or surfaced in the drop ledger, results are collected
+without loss or duplication, and a worker that raises wakes its peers,
+winds the pool down cleanly, and re-raises the original exception from
+:meth:`BatchServeExecutor.stop` — no daemon threads silently dying, no
+unbounded joins.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.serve.admission import AdmissionQueue, DetectionRequest
+
+# One serve_fn call handles one batch and returns one result per request.
+ServeFn = Callable[[Sequence[DetectionRequest]], Sequence[object]]
+
+_JOIN_TIMEOUT = 30.0
+_POLL_S = 0.02
+
+
+class BatchServeExecutor:
+    """Drains an :class:`AdmissionQueue` with a pool of worker threads."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        serve_fn: ServeFn,
+        workers: int = 4,
+        max_batch: int = 8,
+        obs: Telemetry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.queue = queue
+        self.serve_fn = serve_fn
+        self.max_batch = max_batch
+        self.obs = obs or NULL_TELEMETRY
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._results: list[object] = []
+        self._errors: list[BaseException] = []
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}")
+            for i in range(workers)
+        ]
+        self._started = False
+
+    # -- worker loop -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        try:
+            while True:
+                batch = self.queue.next_batch_blocking(self.max_batch, _POLL_S)
+                if batch:
+                    served = list(self.serve_fn(batch))
+                    if len(served) != len(batch):
+                        raise RuntimeError(
+                            f"serve_fn returned {len(served)} results "
+                            f"for a batch of {len(batch)}"
+                        )
+                    with self._lock:
+                        self._results.extend(served)
+                    self.obs.counter("serve.live.batches").inc()
+                elif self._stop.is_set():
+                    return
+        except BaseException as exc:  # noqa: BLE001 - wind-down path
+            with self._lock:
+                self._errors.append(exc)
+            # Wake the peers so the pool winds down instead of draining a
+            # queue whose consumer contract is already broken.
+            self._stop.set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "BatchServeExecutor":
+        if self._started:
+            raise RuntimeError("executor already started")
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = _JOIN_TIMEOUT) -> list[object]:
+        """Wind down and return the collected results.
+
+        With ``drain`` (default) the pool first empties the queue — unless
+        a worker already failed, in which case draining would never
+        finish.  Worker exceptions are re-raised here, after every thread
+        has been joined.
+        """
+        if not self._started:
+            raise RuntimeError("executor was never started")
+        if drain:
+            deadline = threading.Event()
+            while self.queue.depth() > 0 and not self._stop.is_set():
+                deadline.wait(_POLL_S)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        alive = [thread.name for thread in self._threads if thread.is_alive()]
+        if alive:
+            raise RuntimeError(f"serve workers failed to wind down: {alive}")
+        with self._lock:
+            if self._errors:
+                raise self._errors[0]
+            return list(self._results)
+
+    @property
+    def results_so_far(self) -> int:
+        with self._lock:
+            return len(self._results)

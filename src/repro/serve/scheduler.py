@@ -1,0 +1,438 @@
+"""Event-driven multi-stream serve scheduler.
+
+:class:`ServeScheduler` multiplexes N :class:`~repro.serve.streams.SimStream`
+instances over one shared detector on the deterministic discrete-event
+queue (:class:`~repro.runtime.events.EventQueue` — timestamp order,
+insertion-order tie-break), so a seeded 500-stream run replays
+bit-identically.  Three event kinds drive everything:
+
+- **frame arrival** (per stream, fps-spaced, phase-offset by stream id so
+  a fleet does not beat in lockstep): buffer the frame and, when the
+  stream is idle and due, submit a detection request to the admission
+  queue;
+- **dispatch** (inline, whenever the detector is idle and the queue is
+  non-empty): pop a priority-ordered homogeneous batch, price it with the
+  detector model, and schedule its completion;
+- **batch completion**: deliver each result to its stream (which tracks
+  its backlog and adapts its setting), then dispatch again.
+
+Backpressure is watermark-driven: queue depth ≥ ``degrade_high`` drops
+``best_effort`` streams to keyframe-only detection, depth ≥
+``degrade_realtime_high`` degrades the whole fleet, and depth ≤
+``recover_low`` restores everyone.  Degrading shrinks demand at the
+source (fewer submissions), the shed/reject path bounds the queue, and
+nothing ever blocks — the overloaded fleet slows down per-stream instead
+of stalling collectively.
+
+Observability: per-stream and fleet metrics flow through ``repro.obs``
+(queue depth gauge, admission-wait histograms per class, drop counters
+by reason, batch spans), and the returned
+:class:`~repro.serve.report.FleetReport` carries the same numbers
+computed from the scheduler's own ledger, so the obs layer remains a
+pure observer (reconciliation is tested, as everywhere else in the repo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.runtime.events import EventQueue
+from repro.serve.admission import (
+    QOS_BEST_EFFORT,
+    QOS_CLASSES,
+    QOS_REALTIME,
+    AdmissionQueue,
+    DetectionRequest,
+)
+from repro.serve.detector import BatchDetectorModel, SharedDetectorModel
+from repro.serve.report import ClassReport, FleetReport, StreamReport, nearest_rank
+from repro.serve.streams import SimStream, StreamConfig
+
+# Overload levels, in escalation order.
+_LEVEL_NORMAL = 0
+_LEVEL_BEST_EFFORT_DEGRADED = 1
+_LEVEL_ALL_DEGRADED = 2
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Fleet-wide scheduling knobs.
+
+    The backpressure watermarks default to ``None`` = *scale with the
+    fleet*: a stream keeps at most one request in flight, so queue depth
+    is bounded by ``min(queue_depth, num_streams)`` and fixed absolute
+    watermarks would be unreachable for small fleets and toothless for
+    big ones.  :meth:`resolve_watermarks` turns ``None`` into 3/4
+    (degrade best-effort), 19/20 (degrade everyone), and 3/16 (recover)
+    of that effective bound.
+    """
+
+    duration_s: float = 10.0
+    max_batch: int = 8
+    queue_depth: int = 256
+    # Backpressure watermarks on total queue depth; None = fleet-scaled.
+    degrade_high: int | None = None
+    degrade_realtime_high: int | None = None
+    recover_low: int | None = None
+    # Admission-wait SLOs per class (seconds from submit to dispatch).
+    # A full batch at 512 is ~1.4 s of head-of-line blocking, so the
+    # realtime promise is "dispatched within ~1.5 batch services"; below
+    # that no contended fleet could ever attain the SLO.
+    slo_realtime_s: float = 2.0
+    slo_best_effort_s: float = 8.0
+    # Requests submitted before this instant are served normally but
+    # excluded from wait/SLO statistics: at t=0 every stream submits
+    # within one frame period, and that thundering herd would otherwise
+    # dominate the percentiles of short runs.
+    warmup_s: float = 0.0
+    detector_seed: int = 0
+    batch_discount: float = 0.35
+    # Hard cap on fired events; a generous multiple of expected arrivals.
+    max_events: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.slo_realtime_s <= 0 or self.slo_best_effort_s <= 0:
+            raise ValueError("SLOs must be positive")
+        if self.warmup_s < 0 or self.warmup_s >= self.duration_s:
+            raise ValueError("warmup_s must be in [0, duration_s)")
+
+    def slo_for(self, qos: str) -> float:
+        return self.slo_realtime_s if qos == QOS_REALTIME else self.slo_best_effort_s
+
+    def resolve_watermarks(self, num_streams: int) -> tuple[int, int, int]:
+        """``(degrade_high, degrade_realtime_high, recover_low)`` for a fleet."""
+        cap = min(self.queue_depth, max(num_streams, 1))
+        high = self.degrade_high
+        if high is None:
+            high = max(8, (3 * cap) // 4)
+        realtime_high = self.degrade_realtime_high
+        if realtime_high is None:
+            realtime_high = max(high + 1, (19 * cap) // 20)
+        low = self.recover_low
+        if low is None:
+            low = max(2, min(high - 1, (3 * cap) // 16))
+        if not 0 < low < high <= realtime_high:
+            raise ValueError(
+                "watermarks must satisfy 0 < recover_low < degrade_high "
+                f"<= degrade_realtime_high, got ({low}, {high}, {realtime_high})"
+            )
+        if realtime_high > self.queue_depth:
+            raise ValueError("degrade_realtime_high cannot exceed queue_depth")
+        return high, realtime_high, low
+
+
+class ServeScheduler:
+    """Runs one fleet of streams against one shared detector."""
+
+    def __init__(
+        self,
+        streams: Sequence[StreamConfig],
+        config: ServeConfig | None = None,
+        detector: BatchDetectorModel | None = None,
+        obs: Telemetry | None = None,
+    ) -> None:
+        if not streams:
+            raise ValueError("need at least one stream")
+        ids = [stream.stream_id for stream in streams]
+        if len(set(ids)) != len(ids):
+            raise ValueError("stream_ids must be unique")
+        self.config = config or ServeConfig()
+        self.obs = obs or NULL_TELEMETRY
+        self.detector = detector or SharedDetectorModel(
+            seed=self.config.detector_seed,
+            batch_discount=self.config.batch_discount,
+        )
+        self.streams: dict[int, SimStream] = {
+            cfg.stream_id: SimStream(cfg) for cfg in streams
+        }
+        (
+            self.degrade_high,
+            self.degrade_realtime_high,
+            self.recover_low,
+        ) = self.config.resolve_watermarks(len(streams))
+        self.queue = AdmissionQueue(max_depth=self.config.queue_depth)
+        self.events = EventQueue()
+        self._busy = False
+        self._overload_level = _LEVEL_NORMAL
+        self._overload_transitions: list[tuple[float, int]] = []
+        self._waits: dict[str, list[float]] = {qos: [] for qos in QOS_CLASSES}
+        self._slo_attained: dict[str, int] = {qos: 0 for qos in QOS_CLASSES}
+        self._slo_eligible: dict[str, int] = {qos: 0 for qos in QOS_CLASSES}
+        self._class_submitted: dict[str, int] = {qos: 0 for qos in QOS_CLASSES}
+        self._class_served: dict[str, int] = {qos: 0 for qos in QOS_CLASSES}
+        self._class_dropped: dict[str, int] = {qos: 0 for qos in QOS_CLASSES}
+        self._batches = 0
+        self._peak_depth = 0
+        self._degrade_events = 0
+        self._recover_events = 0
+        self._events_fired = 0
+
+    # -- event actions ---------------------------------------------------------
+
+    def _schedule_frame(self, stream: SimStream, frame_index: int, at: float) -> None:
+        self.events.schedule(
+            at,
+            lambda now, s=stream, k=frame_index: self._on_frame(s, k, now),
+        )
+
+    def _frame_time(self, stream: SimStream, frame_index: int) -> float:
+        cfg = stream.config
+        # A per-stream phase offset spreads arrivals so 500 cameras do not
+        # all tick on the same instant (which would serialize through the
+        # tie-break and make batch composition degenerate).
+        phase = (cfg.stream_id % 97) / 97.0 / cfg.fps
+        return cfg.start_at + phase + (frame_index + 1) / cfg.fps
+
+    def _on_frame(self, stream: SimStream, frame_index: int, now: float) -> None:
+        if stream.on_frame(frame_index):
+            self._submit(stream, frame_index, now)
+        next_at = self._frame_time(stream, frame_index + 1)
+        if next_at <= self.config.duration_s:
+            self._schedule_frame(stream, frame_index + 1, next_at)
+        self._maybe_dispatch(now)
+        self._update_backpressure(now)
+
+    def _submit(self, stream: SimStream, frame_index: int, now: float) -> None:
+        request = stream.make_request(frame_index, now)
+        self._class_submitted[request.qos] += 1
+        self.obs.counter("serve.submitted", qos=request.qos).inc()
+        admitted, shed = self.queue.submit(request)
+        if shed is not None:
+            victim = self.streams[shed.stream_id]
+            victim.on_dropped(shed.frame_index, now, "shed")
+            self._class_dropped[shed.qos] += 1
+            self.obs.counter("serve.dropped", qos=shed.qos, reason="shed").inc()
+        if admitted:
+            stream.on_submitted(frame_index, now)
+        else:
+            stream.on_dropped(frame_index, now, "rejected")
+            self._class_dropped[request.qos] += 1
+            self.obs.counter(
+                "serve.dropped", qos=request.qos, reason="rejected"
+            ).inc()
+
+    def _maybe_dispatch(self, now: float) -> None:
+        if self._busy:
+            return
+        batch = self.queue.next_batch(self.config.max_batch)
+        if not batch:
+            return
+        for request in batch:
+            wait = now - request.submitted_at
+            if request.submitted_at >= self.config.warmup_s:
+                self._waits[request.qos].append(wait)
+                self._slo_eligible[request.qos] += 1
+                if wait <= self.config.slo_for(request.qos):
+                    self._slo_attained[request.qos] += 1
+            self.obs.histogram("serve.admission_wait", qos=request.qos).observe(wait)
+        latency = self.detector.batch_latency(batch, now)
+        self._busy = True
+        self._batches += 1
+        self.obs.histogram(
+            "serve.batch_size", bounds=(1, 2, 4, 8, 16, 32)
+        ).observe(len(batch))
+        self.obs.record_span(
+            "serve.batch", now, now + latency,
+            size=len(batch), setting=batch[0].setting, qos=batch[0].qos,
+        )
+        self.events.schedule(
+            now + latency,
+            lambda done_at, b=batch: self._on_batch_done(b, done_at),
+        )
+
+    def _on_batch_done(self, batch: list[DetectionRequest], now: float) -> None:
+        self._busy = False
+        for request in batch:
+            stream = self.streams[request.stream_id]
+            outcome = stream.on_result(request.frame_index, now)
+            self._class_served[request.qos] += 1
+            self.obs.counter("serve.served", qos=request.qos).inc()
+            if outcome["switched"]:
+                self.obs.counter("serve.switches").inc()
+        self._maybe_dispatch(now)
+        self._update_backpressure(now)
+
+    # -- backpressure ----------------------------------------------------------
+
+    def _update_backpressure(self, now: float) -> None:
+        depth = self.queue.depth()
+        self._peak_depth = max(self._peak_depth, depth)
+        self.obs.gauge("serve.queue_depth").set(depth)
+        level = self._overload_level
+        if depth >= self.degrade_realtime_high:
+            desired = _LEVEL_ALL_DEGRADED
+        elif depth >= self.degrade_high:
+            desired = max(level, _LEVEL_BEST_EFFORT_DEGRADED)
+        elif depth <= self.recover_low:
+            desired = _LEVEL_NORMAL
+        else:
+            desired = level  # hysteresis band: hold the current level
+        if desired == level:
+            return
+        self._overload_level = desired
+        self._overload_transitions.append((now, desired))
+        self.obs.gauge("serve.overload_level").set(desired)
+        if desired > level:
+            self._degrade_events += 1
+            self.obs.counter("serve.degrade_events").inc()
+            for stream in self.streams.values():
+                if desired == _LEVEL_ALL_DEGRADED or (
+                    stream.config.qos == QOS_BEST_EFFORT
+                ):
+                    stream.degrade(now)
+        else:
+            self._recover_events += 1
+            self.obs.counter("serve.recover_events").inc()
+            if desired == _LEVEL_NORMAL:
+                for stream in self.streams.values():
+                    stream.recover(now)
+            else:  # _LEVEL_ALL_DEGRADED -> _LEVEL_BEST_EFFORT_DEGRADED
+                for stream in self.streams.values():
+                    if stream.config.qos == QOS_REALTIME:
+                        stream.recover(now)
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Fire the fleet to completion and return its report."""
+        for stream in self.streams.values():
+            first_at = self._frame_time(stream, 0)
+            if first_at <= self.config.duration_s:
+                self._schedule_frame(stream, 0, first_at)
+        self._events_fired = self.events.run(max_events=self.config.max_events)
+        # Everything submitted before the end drains: arrivals stop at
+        # duration_s, completions re-dispatch, so the queue runs dry.
+        self.queue.check_conservation()
+        return self._build_report()
+
+    def _build_report(self) -> FleetReport:
+        cfg = self.config
+        classes: dict[str, ClassReport] = {}
+        for qos in QOS_CLASSES:
+            waits = self._waits[qos]
+            classes[qos] = ClassReport(
+                qos=qos,
+                submitted=self._class_submitted[qos],
+                served=self._class_served[qos],
+                dropped=self._class_dropped[qos],
+                slo_s=cfg.slo_for(qos),
+                slo_attained=self._slo_attained[qos],
+                slo_eligible=self._slo_eligible[qos],
+                wait_p50_s=nearest_rank(waits, 0.50),
+                wait_p99_s=nearest_rank(waits, 0.99),
+                wait_max_s=max(waits) if waits else None,
+            )
+        stream_reports = [
+            StreamReport(
+                stream_id=stream.config.stream_id,
+                qos=stream.config.qos,
+                frames_arrived=stream.frames_arrived,
+                submitted=stream.submitted,
+                served=stream.served,
+                dropped=stream.dropped,
+                buffer_dropped=stream.buffer_dropped,
+                tracked_frames=stream.tracked_frames,
+                switches=stream.switches,
+                degraded_episodes=stream.degraded_episodes,
+                degraded_frames=stream.degraded_frames,
+                cpu_busy_s=stream.cpu_busy_s,
+                final_setting=stream.setting,
+                digest=stream.digest(),
+            )
+            for stream in sorted(
+                self.streams.values(), key=lambda s: s.config.stream_id
+            )
+        ]
+        seeds = sorted({stream.config.seed for stream in self.streams.values()})
+        report = FleetReport(
+            num_streams=len(self.streams),
+            duration_s=cfg.duration_s,
+            seed_note=f"seeds={seeds}, detector_seed={cfg.detector_seed}",
+            submitted=sum(self._class_submitted.values()),
+            served=sum(self._class_served.values()),
+            dropped=sum(self._class_dropped.values()),
+            batches=self._batches,
+            peak_depth=self._peak_depth,
+            final_depth=self.queue.depth(),
+            degrade_events=self._degrade_events,
+            recover_events=self._recover_events,
+            buffer_dropped=sum(
+                stream.buffer_dropped for stream in self.streams.values()
+            ),
+            tracked_frames=sum(
+                stream.tracked_frames for stream in self.streams.values()
+            ),
+            events_fired=self._events_fired,
+            end_time_s=self.events.now,
+            classes=classes,
+            streams=stream_reports,
+            overload_transitions=list(self._overload_transitions),
+        )
+        self.obs.counter("serve.runs").inc()
+        return report
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+_FLEET_SCENARIOS = (
+    "intersection",
+    "racetrack",
+    "meeting_room",
+    "city_street",
+)
+
+
+def fleet_configs(
+    count: int,
+    seed: int = 7,
+    realtime_fraction: float = 0.25,
+    fps: float = 30.0,
+    start_at: float = 0.0,
+    first_stream_id: int = 0,
+) -> list[StreamConfig]:
+    """A deterministic mixed fleet: scenarios cycle, QoS is interleaved.
+
+    Stream ``i`` is ``realtime`` when ``i * realtime_fraction`` crosses an
+    integer boundary, which spreads the realtime streams evenly through
+    the id space instead of clustering them at the front.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0.0 <= realtime_fraction <= 1.0:
+        raise ValueError("realtime_fraction must be in [0, 1]")
+    configs = []
+    for offset in range(count):
+        stream_id = first_stream_id + offset
+        is_realtime = (
+            int((offset + 1) * realtime_fraction) > int(offset * realtime_fraction)
+        )
+        configs.append(
+            StreamConfig(
+                stream_id=stream_id,
+                qos=QOS_REALTIME if is_realtime else QOS_BEST_EFFORT,
+                fps=fps,
+                scenario=_FLEET_SCENARIOS[offset % len(_FLEET_SCENARIOS)],
+                seed=seed,
+                start_at=start_at,
+            )
+        )
+    return configs
+
+
+def serve_fleet(
+    streams: Sequence[StreamConfig],
+    config: ServeConfig | None = None,
+    detector: BatchDetectorModel | None = None,
+    obs: Telemetry | None = None,
+) -> FleetReport:
+    """One-shot helper: build a scheduler, run it, return the report."""
+    return ServeScheduler(streams, config=config, detector=detector, obs=obs).run()

@@ -1,0 +1,309 @@
+"""Simulated camera streams for the serving layer.
+
+A :class:`SimStream` is the CPU-side of one camera: a bounded frame
+buffer, a tracker-cost proxy, and per-stream adaptation — exactly the
+parts of the single-device pipeline that stay independent when hundreds
+of streams share one detector.  It reuses the single-device machinery
+wholesale: :class:`~repro.core.adaptation.AdaptiveSettingPolicy` (with
+the pretrained threshold table) picks the next detector input size from
+measured velocity, :class:`~repro.tracking.frame_selection.TrackingFrameSelector`
+plans how many buffered frames to track per cycle, and
+:class:`~repro.tracking.tracker.TrackerLatencyModel` prices the CPU work.
+
+What it does *not* do is touch pixels.  Content comes from a
+:class:`StreamWorkload`: a deterministic per-frame (velocity, object
+count) trace derived from a scenario preset's
+:meth:`~repro.video.scenario.ScenarioConfig.content_speed_hint` and a
+seeded parameter draw.  Both are pure functions of ``(config,
+frame_index)`` — independent of call order — which is what makes a
+500-stream run bit-identically replayable.
+
+Backpressure: a degraded stream drops to *keyframe-only* detection — it
+submits only every ``keyframe_interval``-th frame and rides its tracker
+in between — which cuts its detector demand by ~an order of magnitude
+without stalling it entirely.  Degrade/recover transitions are driven by
+the scheduler's queue watermarks, not by the stream itself.
+
+Every externally visible event (submit, result, drop, degrade, recover)
+feeds a rolling sha256, so each stream ends a run with an event digest;
+the fleet report combines them into the replay-identity check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adaptation import AdaptiveSettingPolicy, ThresholdTable
+from repro.core.mpdt import FixedSettingPolicy, SettingPolicy
+from repro.detection.profiles import get_profile
+from repro.serve.admission import (
+    QOS_BEST_EFFORT,
+    QOS_CLASSES,
+    DetectionRequest,
+)
+from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
+from repro.tracking.tracker import TrackerLatencyModel
+from repro.video.library import make_scenario
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Identity and knobs of one simulated stream."""
+
+    stream_id: int
+    qos: str = QOS_BEST_EFFORT
+    fps: float = 30.0
+    scenario: str = "intersection"
+    seed: int = 0
+    initial_setting: str | int = 512
+    adaptive: bool = True
+    buffer_capacity: int = 16
+    # Degraded mode submits one detection per this many frames.
+    keyframe_interval: int = 8
+    # Virtual time at which the stream joins the fleet (mid-run bursts).
+    start_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.qos not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown QoS class {self.qos!r}; known: {', '.join(QOS_CLASSES)}"
+            )
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        if self.keyframe_interval < 2:
+            raise ValueError("keyframe_interval must be >= 2")
+        if self.start_at < 0:
+            raise ValueError("start_at must be non-negative")
+
+
+class StreamWorkload:
+    """Deterministic per-frame content model for one stream.
+
+    Velocity roams around the scenario's a-priori content speed hint with
+    two seeded sinusoidal modes (slow drift + faster flutter) and a small
+    per-frame jitter table; object count varies slowly around a seeded
+    base.  All parameters are drawn once at construction from a seed
+    sequence keyed on ``(seed, stream_id)``, after which every value is a
+    pure O(1) function of ``frame_index``.
+    """
+
+    _JITTER_TABLE_SIZE = 256
+
+    def __init__(self, config: StreamConfig) -> None:
+        hint = make_scenario(config.scenario).content_speed_hint()
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=config.seed, spawn_key=(config.stream_id, 0x5EE5)
+            )
+        )
+        self.base_velocity = float(max(0.2, hint) * rng.uniform(0.6, 1.5))
+        self._slow = (
+            float(rng.uniform(0.002, 0.008)),  # cycles per frame
+            float(rng.uniform(0.0, 2.0 * math.pi)),
+            float(rng.uniform(0.3, 0.8)),  # relative amplitude
+        )
+        self._fast = (
+            float(rng.uniform(0.02, 0.06)),
+            float(rng.uniform(0.0, 2.0 * math.pi)),
+            float(rng.uniform(0.05, 0.2)),
+        )
+        self._jitter = rng.normal(0.0, 0.06, size=self._JITTER_TABLE_SIZE)
+        self.base_objects = int(rng.integers(2, 9))
+        self._objects_phase = float(rng.uniform(0.0, 2.0 * math.pi))
+        self._objects_freq = float(rng.uniform(0.001, 0.01))
+
+    def velocity(self, frame_index: int) -> float:
+        """Eq. 3-scale content velocity (pixels/frame) at one frame."""
+        slow_f, slow_p, slow_a = self._slow
+        fast_f, fast_p, fast_a = self._fast
+        modulation = (
+            1.0
+            + slow_a * math.sin(2.0 * math.pi * slow_f * frame_index + slow_p)
+            + fast_a * math.sin(2.0 * math.pi * fast_f * frame_index + fast_p)
+        )
+        jitter = self._jitter[frame_index % self._JITTER_TABLE_SIZE]
+        return max(0.0, self.base_velocity * modulation * (1.0 + jitter))
+
+    def num_objects(self, frame_index: int) -> int:
+        wave = math.sin(
+            2.0 * math.pi * self._objects_freq * frame_index + self._objects_phase
+        )
+        return max(0, int(round(self.base_objects + 2.0 * wave)))
+
+
+class SimStream:
+    """Runtime state of one stream inside the fleet scheduler."""
+
+    def __init__(
+        self,
+        config: StreamConfig,
+        thresholds: ThresholdTable | None = None,
+        latency: TrackerLatencyModel | None = None,
+    ) -> None:
+        self.config = config
+        self.workload = StreamWorkload(config)
+        if config.adaptive:
+            if thresholds is None:
+                from repro.core.pretrained import DEFAULT_THRESHOLD_TABLE
+
+                thresholds = DEFAULT_THRESHOLD_TABLE
+            self.policy: SettingPolicy = AdaptiveSettingPolicy(
+                thresholds, config.initial_setting
+            )
+        else:
+            self.policy = FixedSettingPolicy(config.initial_setting)
+        self.setting = self.policy.initial()
+        self.latency = latency or TrackerLatencyModel()
+        per_frame = self.latency.per_frame_cost(self.workload.base_objects)
+        self.selector = TrackingFrameSelector(
+            initial_fraction=min(1.0, (1.0 / config.fps) / per_frame)
+        )
+        self.buffer: deque[int] = deque()
+        self.degraded = False
+        self.in_flight: int | None = None  # frame index of the outstanding request
+        self.last_result_frame: int | None = None
+
+        self.frames_arrived = 0
+        self.buffer_dropped = 0
+        self.submitted = 0
+        self.served = 0
+        self.dropped = 0
+        self.tracked_frames = 0
+        self.switches = 0
+        self.degraded_episodes = 0
+        self.degraded_frames = 0
+        self.cpu_busy_s = 0.0
+        self._hasher = hashlib.sha256()
+
+    # -- event log -------------------------------------------------------------
+
+    def _log(self, kind: str, frame: int, now: float, extra: str = "") -> None:
+        self._hasher.update(f"{kind}|{frame}|{now!r}|{extra}\n".encode())
+
+    def digest(self) -> str:
+        """Rolling sha256 over every externally visible stream event."""
+        return self._hasher.hexdigest()
+
+    # -- frame arrival ---------------------------------------------------------
+
+    def wants_detection(self, frame_index: int) -> bool:
+        """Should this frame become a detector request right now?"""
+        if self.in_flight is not None:
+            return False
+        if self.degraded:
+            return frame_index % self.config.keyframe_interval == 0
+        return True
+
+    def on_frame(self, frame_index: int) -> bool:
+        """Buffer an arriving frame; True if a detection should be submitted."""
+        self.frames_arrived += 1
+        if self.degraded:
+            self.degraded_frames += 1
+        self.buffer.append(frame_index)
+        while len(self.buffer) > self.config.buffer_capacity:
+            self.buffer.popleft()
+            self.buffer_dropped += 1
+        return self.wants_detection(frame_index)
+
+    # -- detector round-trip ---------------------------------------------------
+
+    def make_request(self, frame_index: int, now: float) -> DetectionRequest:
+        return DetectionRequest(
+            stream_id=self.config.stream_id,
+            frame_index=frame_index,
+            qos=self.config.qos,
+            setting=self.setting,
+            num_objects=self.workload.num_objects(frame_index),
+            submitted_at=now,
+        )
+
+    def on_submitted(self, frame_index: int, now: float) -> None:
+        self.in_flight = frame_index
+        self.submitted += 1
+        self._log("submit", frame_index, now, self.setting)
+
+    def on_dropped(self, frame_index: int, now: float, reason: str) -> None:
+        """The admission queue explicitly refused/evicted our request."""
+        if self.in_flight == frame_index:
+            self.in_flight = None
+        self.dropped += 1
+        self._log("drop", frame_index, now, reason)
+
+    def on_result(self, frame_index: int, now: float) -> dict:
+        """Detector result delivered: track the backlog, adapt the setting.
+
+        The frames that arrived while the detector ran (newer than the
+        detected one) are the cycle's tracking work: the selector plans
+        how many to track, the latency model prices them, and the
+        measured velocity (the workload trace sampled at the tracked
+        frames) drives the adaptation policy — the same cycle shape as
+        single-device MPDT, minus the pixels.  Frames at or before the
+        detected one are superseded by the fresh boxes, and the tracker
+        catches up to the newest buffered frame (skipping per plan), so
+        the whole buffer is consumed.
+        """
+        self.served += 1
+        self.in_flight = None
+        behind = [index for index in self.buffer if index > frame_index]
+        self.buffer.clear()
+        planned = self.selector.plan(len(behind))
+        tracked_indices: list[int] = []
+        if planned > 0 and behind:
+            tracked_indices = select_spread_indices(
+                behind[0], behind[-1] + 1, planned
+            )
+        tracked = len(tracked_indices)
+        self.selector.record_cycle(tracked, len(behind))
+        self.tracked_frames += tracked
+        num_objects = self.workload.num_objects(frame_index)
+        cpu = 0.0
+        if tracked:
+            cpu = self.latency.feature_extraction + sum(
+                self.latency.per_frame_cost(num_objects) for _ in tracked_indices
+            )
+        self.cpu_busy_s += cpu
+        velocity: float | None = None
+        if tracked_indices:
+            velocity = float(
+                np.mean([self.workload.velocity(i) for i in tracked_indices])
+            )
+        previous = self.setting
+        self.setting = get_profile(
+            self.policy.next_setting(velocity, previous)
+        ).name
+        if self.setting != previous:
+            self.switches += 1
+        self.last_result_frame = frame_index
+        self._log("result", frame_index, now, f"{velocity!r}|{self.setting}")
+        return {
+            "tracked": tracked,
+            "velocity": velocity,
+            "switched": self.setting != previous,
+            "cpu_s": cpu,
+        }
+
+    # -- backpressure ----------------------------------------------------------
+
+    def degrade(self, now: float) -> bool:
+        """Enter keyframe-only mode; True if this was a transition."""
+        if self.degraded:
+            return False
+        self.degraded = True
+        self.degraded_episodes += 1
+        self._log("degrade", self.frames_arrived, now)
+        return True
+
+    def recover(self, now: float) -> bool:
+        """Leave keyframe-only mode; True if this was a transition."""
+        if not self.degraded:
+            return False
+        self.degraded = False
+        self._log("recover", self.frames_arrived, now)
+        return True

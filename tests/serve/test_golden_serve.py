@@ -1,0 +1,69 @@
+"""Golden-trace digests for the serving layer.
+
+Pins the full report digest of a seeded 64-stream run (which covers
+every stream's rolling event digest, all class ledgers, and the
+overload-transition trace).  Any behavioural change to the scheduler,
+admission queue, stream model, detector pricing, or report
+serialisation shifts these hex strings — which is the point: serving
+determinism is an API, and breaking it must be a conscious decision.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/serve/test_golden_serve.py
+"""
+
+from repro.serve import ServeConfig, fleet_configs, serve_fleet
+
+_STREAMS = 64
+_CONFIG = dict(duration_s=6.0, warmup_s=2.0)
+
+GOLDEN_DIGESTS = {
+    7: "6da75fcbeb55b752863d54a0b1435fed6fa386e8187902a58f9bdf191140ce00",
+    21: "b3229cd9a3582775e1b653845d24e1d5a68f2ba0bb0ff64226eeb37dfc63e867",
+}
+
+
+def _run(seed: int):
+    return serve_fleet(fleet_configs(_STREAMS, seed=seed), ServeConfig(**_CONFIG))
+
+
+def test_seeded_fleet_matches_golden_digest():
+    for seed, expected in GOLDEN_DIGESTS.items():
+        report = _run(seed)
+        assert report.digest() == expected, (
+            f"seed {seed}: serve digest changed — if intentional, regenerate "
+            f"with `python {__file__}`"
+        )
+
+
+def test_two_invocations_are_bit_identical():
+    """The replay contract itself: same seed, same everything."""
+    first, second = _run(7), _run(7)
+    assert first.to_dict() == second.to_dict()
+    assert first.digest() == second.digest()
+    # Per-stream event digests agree stream by stream, not just in bulk.
+    for a, b in zip(first.streams, second.streams):
+        assert a.digest == b.digest
+
+
+def test_digest_covers_stream_events():
+    """Digest is not just totals: it must see per-stream event order."""
+    report = _run(7)
+    doc = report.to_dict()
+    doc["streams"][0]["digest"] = "0" * 64
+    import hashlib
+    import json
+
+    tampered = hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    assert tampered != report.digest()
+
+
+def _regenerate() -> None:
+    for seed in GOLDEN_DIGESTS:
+        print(f"    {seed}: \"{_run(seed).digest()}\",")
+
+
+if __name__ == "__main__":
+    _regenerate()

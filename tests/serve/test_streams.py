@@ -1,0 +1,137 @@
+"""Unit tests for the simulated stream: workload purity, buffering,
+keyframe-only degradation, and the detect→track→adapt cycle."""
+
+import pytest
+
+from repro.detection.profiles import FRAME_SIZES
+from repro.serve.streams import SimStream, StreamConfig, StreamWorkload
+
+
+def _config(**kwargs) -> StreamConfig:
+    defaults = dict(stream_id=3, seed=11, scenario="racetrack")
+    defaults.update(kwargs)
+    return StreamConfig(**defaults)
+
+
+class TestStreamWorkload:
+    def test_pure_function_of_frame_index(self):
+        """Same config => same trace, regardless of evaluation order."""
+        forward = StreamWorkload(_config())
+        backward = StreamWorkload(_config())
+        indices = list(range(0, 400, 7))
+        a = [(forward.velocity(i), forward.num_objects(i)) for i in indices]
+        b = [
+            (backward.velocity(i), backward.num_objects(i))
+            for i in reversed(indices)
+        ]
+        assert a == list(reversed(b))
+
+    def test_streams_differ_and_seeds_differ(self):
+        base = StreamWorkload(_config())
+        other_stream = StreamWorkload(_config(stream_id=4))
+        other_seed = StreamWorkload(_config(seed=12))
+        trace = [base.velocity(i) for i in range(30)]
+        assert trace != [other_stream.velocity(i) for i in range(30)]
+        assert trace != [other_seed.velocity(i) for i in range(30)]
+
+    def test_values_are_physical(self):
+        workload = StreamWorkload(_config())
+        for i in range(500):
+            assert workload.velocity(i) >= 0.0
+            assert workload.num_objects(i) >= 0
+
+
+class TestSimStream:
+    def test_buffer_drops_oldest_and_counts(self):
+        stream = SimStream(_config(buffer_capacity=4))
+        stream.on_submitted(0, 0.0)  # keep it busy so frames only buffer
+        for i in range(10):
+            stream.on_frame(i)
+        assert list(stream.buffer) == [6, 7, 8, 9]
+        assert stream.buffer_dropped == 6
+        assert stream.frames_arrived == 10
+
+    def test_in_flight_blocks_new_requests(self):
+        stream = SimStream(_config())
+        assert stream.on_frame(0) is True
+        stream.on_submitted(0, 0.0)
+        assert stream.on_frame(1) is False
+
+    def test_degraded_stream_submits_keyframes_only(self):
+        stream = SimStream(_config(keyframe_interval=8))
+        stream.degrade(0.0)
+        wanted = [i for i in range(32) if stream.on_frame(i)]
+        assert wanted == [0, 8, 16, 24]
+        assert stream.degraded_frames == 32
+
+    def test_degrade_recover_transitions(self):
+        stream = SimStream(_config())
+        assert stream.degrade(1.0) is True
+        assert stream.degrade(2.0) is False  # already degraded
+        assert stream.recover(3.0) is True
+        assert stream.recover(4.0) is False
+        assert stream.degraded_episodes == 1
+
+    def test_result_cycle_tracks_backlog_and_adapts(self):
+        stream = SimStream(_config())
+        stream.on_frame(0)
+        stream.on_submitted(0, 0.0)
+        for i in range(1, 12):
+            stream.on_frame(i)
+        outcome = stream.on_result(0, 0.4)
+        # The frames that accumulated during detection (1..11) are the
+        # tracking backlog; the cycle consumes the whole buffer.
+        assert list(stream.buffer) == []
+        assert stream.in_flight is None
+        assert stream.served == 1
+        assert outcome["tracked"] == stream.tracked_frames
+        assert outcome["tracked"] > 0
+        assert outcome["velocity"] is not None
+        assert stream.cpu_busy_s > 0
+        # The adapted setting is always a real profile.
+        assert stream.setting in {f"yolov3-{s}" for s in FRAME_SIZES}
+
+    def test_result_with_empty_backlog_tracks_nothing(self):
+        stream = SimStream(_config())
+        stream.on_frame(0)
+        stream.on_submitted(0, 0.0)
+        outcome = stream.on_result(0, 0.1)
+        assert outcome["tracked"] == 0
+        assert outcome["velocity"] is None
+        assert stream.cpu_busy_s == 0.0
+
+    def test_dropped_request_clears_in_flight(self):
+        stream = SimStream(_config())
+        stream.on_frame(0)
+        stream.on_submitted(0, 0.0)
+        stream.on_dropped(0, 0.1, "shed")
+        assert stream.in_flight is None
+        assert stream.dropped == 1
+        # The stream can submit again afterwards.
+        assert stream.on_frame(1) is True
+
+    def test_digest_reflects_event_history(self):
+        a, b = SimStream(_config()), SimStream(_config())
+        assert a.digest() == b.digest()
+        a.on_frame(0)
+        a.on_submitted(0, 0.0)
+        assert a.digest() != b.digest()
+        b.on_frame(0)
+        b.on_submitted(0, 0.0)
+        assert a.digest() == b.digest()
+
+
+class TestStreamConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"qos": "platinum"},
+            {"fps": 0},
+            {"buffer_capacity": 0},
+            {"keyframe_interval": 1},
+            {"start_at": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            _config(**kwargs)

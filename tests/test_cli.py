@@ -26,6 +26,11 @@ class TestParser:
             ["table", "2", "--jobs", "2"],
             ["macrobench"],
             ["macrobench", "--quick", "--jobs", "2", "--min-speedup", "1.7"],
+            ["serve"],
+            ["serve", "--streams", "500", "--seconds", "5", "--seed", "7"],
+            ["serve", "--warmup", "2", "--slo", "1.5", "--json", "r.json"],
+            ["servebench"],
+            ["servebench", "--quick", "--min-sustained", "16"],
             ["profile"],
             ["profile", "mpdt-512", "--frames", "30", "--top", "5"],
             ["profile", "adavp", "--sort", "tottime", "--out", "p.pstats"],
@@ -55,6 +60,18 @@ class TestParser:
         assert macro.repeats == 3
         assert macro.min_speedup is None
         assert macro.output == "BENCH_macro.json"
+
+    def test_serve_defaults(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve"])
+        assert serve.streams == 64
+        assert serve.seconds == 10.0
+        assert serve.seed == 7
+        assert serve.realtime_frac == 0.25
+        assert serve.slo is None
+        servebench = parser.parse_args(["servebench"])
+        assert servebench.output == "BENCH_macro.json"
+        assert servebench.min_sustained is None
 
 
 class TestCommands:
@@ -162,3 +179,41 @@ class TestCommands:
         assert "fig6_reduced_sweep" in out
         doc = json.loads(path.read_text(encoding="utf-8"))
         assert validate_macro_doc(doc) == ["fig6_reduced_sweep"]
+
+    def test_serve_smoke_replays_identically(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        argv = ["serve", "--streams", "24", "--seconds", "3", "--seed", "7",
+                "--json", str(path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv[:-2]) == 0
+        second = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if l.startswith("digest:")]
+        assert digest and digest == [
+            l for l in second.splitlines() if l.startswith("digest:")
+        ]
+        report = json.loads(path.read_text(encoding="utf-8"))
+        assert report["num_streams"] == 24
+        assert report["submitted"] == report["served"] + report["dropped"]
+
+    def test_servebench_writes_and_merges(self, capsys, tmp_path):
+        import json
+
+        from repro.perf import validate_macro_doc
+        from repro.serve.bench import SERVE_BENCH_NAME
+
+        path = tmp_path / "BENCH_macro.json"
+        assert main(
+            ["servebench", "--quick", "--output", str(path),
+             "--min-sustained", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert SERVE_BENCH_NAME in out
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_macro_doc(doc) == [SERVE_BENCH_NAME]
+        # Rerunning merges in place: still exactly one serve bench.
+        assert main(["servebench", "--quick", "--output", str(path)]) == 0
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_macro_doc(doc) == [SERVE_BENCH_NAME]
