@@ -256,20 +256,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_macrobench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
     from repro.perf import (
         format_macro_table,
         run_macro_benchmark,
         validate_macro_doc,
         write_bench_json,
     )
+    from repro.perf.macro import merge_sweep_bench
 
-    doc = run_macro_benchmark(
+    new_doc = run_macro_benchmark(
         jobs=args.jobs,
         repeats=args.repeats,
         quick=args.quick,
         frame_store_mb=args.frame_store_mb,
     )
-    validate_macro_doc(doc, min_speedup=args.min_speedup)
+    # BENCH_macro.json also carries the serve ladder; replace only the
+    # sweep bench (mirrors servebench's merge in the other direction).
+    existing = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+    doc = merge_sweep_bench(existing, new_doc["benches"][0], quick=args.quick)
+    validate_macro_doc(
+        doc,
+        min_speedup=args.min_speedup,
+        min_store_hit_ratio=args.min_store_hit_ratio,
+    )
     write_bench_json(doc, args.output)
     print(format_macro_table(doc))
     print(f"\nwrote {args.output}", file=sys.stderr)
@@ -458,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     macro.add_argument("--min-speedup", type=float, default=None,
                        help="fail unless parallel/sequential speedup reaches "
                             "this (the CI gate on multi-core runners)")
+    macro.add_argument("--min-store-hit-ratio", type=float, default=None,
+                       help="fail unless the parallel arm's frame-store hits "
+                            "reach this fraction of the sequential arm's "
+                            "(render-once parity; no cpu-count waiver)")
     macro.add_argument("--frame-store-mb", type=int, default=128,
                        help="MiB budget for the shared frame store "
                             "(0 disables it for the whole macro-bench)")

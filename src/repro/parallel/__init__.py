@@ -15,6 +15,7 @@ Typical use::
     results = sweep.results        # dict[str, MethodResult]
 """
 
+from repro.parallel.costs import estimate_shard_cost, method_family, order_shards
 from repro.parallel.engine import (
     ProgressCallback,
     SweepEngine,
@@ -28,6 +29,8 @@ from repro.parallel.specs import (
     ShardFailure,
     ShardResult,
     ShardSpec,
+    StoreConfig,
+    validate_store_budgets,
 )
 
 __all__ = [
@@ -37,8 +40,13 @@ __all__ = [
     "ShardFailure",
     "ShardResult",
     "ShardSpec",
+    "StoreConfig",
     "SweepEngine",
     "SweepResult",
+    "estimate_shard_cost",
+    "method_family",
+    "order_shards",
     "run_shard",
     "run_sweep",
+    "validate_store_budgets",
 ]

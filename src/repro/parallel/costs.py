@@ -1,0 +1,88 @@
+"""Shard cost estimation for work-stealing sweep scheduling.
+
+The old engine submitted shards in static grid order, so pool wall time
+was gated by whichever worker happened to draw the expensive cells: an
+``adavp`` shard costs ~30x a ``no-tracking`` shard on the same clip, and
+grid order clusters the cheap cells at the end.  The scheduler instead
+orders shards longest-first (LPT) and feeds idle workers from a shared
+queue, which is the classic 4/3-approximation to optimal makespan — good
+enough here because shard costs span two orders of magnitude and LPT's
+worst cases need adversarial near-equal costs.
+
+Costs are *relative*, not wall-clock predictions: scheduling only needs
+ranks.  A shard's cost is ``frames x per-frame method cost``, where the
+method cost comes from measured family weights with a detector-size
+nudge taken from ``DETECTOR_PROFILES`` latencies (the simulated detector
+burns no real CPU, so size matters far less than family — tracking work
+dominates the real wall time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.detection.profiles import DETECTOR_PROFILES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.specs import ShardSpec
+
+# Measured mean wall seconds per frame on the 60-frame bench clips
+# (engine shard timings; see DESIGN.md §8).  Family dominates: adavp
+# runs detector + tracker + adaptation, mpdt/marlin run detector +
+# tracker, no-tracking runs the detector model alone.
+_FAMILY_COST_PER_FRAME = {
+    "adavp": 6.5e-3,
+    "mpdt": 4.0e-3,
+    "marlin": 3.5e-3,
+    "no-tracking": 0.3e-3,
+}
+_DEFAULT_COST_PER_FRAME = 4.0e-3
+
+# Detector size nudges relative costs *within* a family.  The simulator
+# does not run a real network, so size must never outrank family — the
+# nudge is multiplicative on the family cost, scaled by the profile's
+# base_latency (0.23s..0.5s), reproducing the measured intra-family
+# spread of roughly 10-25%.
+_SIZE_NUDGE = 0.5
+
+
+def method_family(name: str) -> str:
+    """The registry family prefix of a method name (``mpdt-416`` → ``mpdt``)."""
+    for family in _FAMILY_COST_PER_FRAME:
+        if name == family or name.startswith(family + "-"):
+            return family
+    return name.split("-")[0]
+
+
+def _size_factor(name: str) -> float:
+    """Multiplier (>= 1) from the method's detector input size."""
+    tail = name.rsplit("-", 1)[-1]
+    if not tail.isdigit():
+        return 1.0
+    size = int(tail)
+    for profile in DETECTOR_PROFILES.values():
+        if profile.input_size == size:
+            return 1.0 + _SIZE_NUDGE * profile.base_latency
+    return 1.0
+
+
+def estimate_shard_cost(spec: "ShardSpec") -> float:
+    """Relative cost of one shard: frames x per-frame method cost."""
+    per_frame = _FAMILY_COST_PER_FRAME.get(
+        method_family(spec.method.name), _DEFAULT_COST_PER_FRAME
+    )
+    frames = max(1, int(spec.clip.config.num_frames))
+    return frames * per_frame * _size_factor(spec.method.name)
+
+
+def order_shards(specs: "list[ShardSpec]") -> "deque[ShardSpec]":
+    """Longest-processing-time-first queue for idle-worker pull.
+
+    Ties break on grid index so the order is deterministic; determinism
+    here is about reproducible *scheduling* only — the reducer reassembles
+    by index, so results are bit-identical under any completion order.
+    """
+    return deque(
+        sorted(specs, key=lambda s: (-estimate_shard_cost(s), s.index))
+    )

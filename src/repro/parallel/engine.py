@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -38,12 +38,15 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.config import PipelineConfig
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.parallel.costs import order_shards
 from repro.parallel.specs import (
     ClipSpec,
     MethodSpec,
     ShardFailure,
     ShardResult,
     ShardSpec,
+    StoreConfig,
+    validate_store_budgets,
 )
 from repro.video.dataset import VideoClip, VideoSuite
 
@@ -57,6 +60,36 @@ ProgressCallback = Callable[[int, int, ShardResult], None]
 _WORKER_CLIP_CAPACITY = 8
 
 _worker_clips: OrderedDict[ClipSpec, VideoClip] = OrderedDict()
+
+# The store config this worker last applied.  Specs arrive one shard at
+# a time but carry the same config across a sweep, so comparing against
+# the last applied one makes "configure once per worker" hold without
+# any extra control channel.
+_worker_store_config: StoreConfig | None = None
+
+
+def _apply_store_config(cfg: StoreConfig | None) -> None:
+    """Idempotently set up this worker's frame store from the shard spec.
+
+    ``"shared"`` attaches the parent's cross-process store and installs
+    it as the process-wide store; ``"private"`` budgets the in-process
+    store (the pre-shared-memory behaviour); ``None`` uninstalls any
+    shared overlay but leaves the private budget alone — a sweep with no
+    opinion must not evict what a previous sweep paid for.
+    """
+    global _worker_store_config
+    if cfg == _worker_store_config:
+        return
+    from repro.video import framestore
+
+    if cfg is None:
+        framestore.install_store(None)
+    elif cfg.mode == "shared":
+        framestore.install_store(framestore.SharedFrameStore.attach(cfg.token))
+    else:
+        framestore.install_store(None)
+        framestore.configure_default(cfg.budget_bytes)
+    _worker_store_config = cfg
 
 
 def _clip_for(spec: ClipSpec) -> VideoClip:
@@ -113,12 +146,17 @@ def run_shard(
 
             telemetry = Telemetry(InMemorySink())
         if clip is None:
+            # Pool path: this process is a worker.  Set up the store
+            # before building the clip so the renderer resolves it.
+            _apply_store_config(spec.store)
             clip = _clip_for(spec.clip)
         renderer = clip.renderer
         store = renderer.frame_store
         hits0, misses0 = renderer.cache_hits, renderer.cache_misses
-        shits0, smisses0 = store.hits, store.misses
-        sevicted0 = store.evicted_bytes
+        # Lock-held snapshots at both ends: reading the bare counter
+        # attributes tears when the threaded live executor shares the
+        # process-wide store with this shard.
+        stats0 = store.stats()
         renderer.set_obs(telemetry or NULL_TELEMETRY)
         store.set_obs(telemetry or NULL_TELEMETRY)
         try:
@@ -138,9 +176,18 @@ def run_shard(
         result.activity = run.activity
         result.render_hits = renderer.cache_hits - hits0
         result.render_misses = renderer.cache_misses - misses0
-        result.store_hits = store.hits - shits0
-        result.store_misses = store.misses - smisses0
-        result.store_evicted_bytes = store.evicted_bytes - sevicted0
+        stats1 = store.stats()
+        result.store_hits = stats1["hits"] - stats0["hits"]
+        result.store_misses = stats1["misses"] - stats0["misses"]
+        result.store_lease_waits = stats1["lease_waits"] - stats0["lease_waits"]
+        if getattr(store, "owner", True):
+            # Shared-store workers skip this: their eviction counters are
+            # fleet-wide (the parent performs the evictions), so summing
+            # per-shard deltas across workers would double-count.  The
+            # engine adds the owner-side delta once instead.
+            result.store_evicted_bytes = (
+                stats1["evicted_bytes"] - stats0["evicted_bytes"]
+            )
         if spec.keep_run:
             result.run = run
         if telemetry is not None and obs is None:
@@ -178,6 +225,10 @@ class SweepResult:
     store_hits: int = 0
     store_misses: int = 0
     store_evicted_bytes: int = 0
+    store_lease_waits: int = 0
+    # Which store backed the sweep: "shared" (cross-process segments),
+    # "private" (per-process LRU), or "none" (store unconfigured).
+    store_mode: str = "none"
 
     @property
     def ok(self) -> bool:
@@ -201,7 +252,8 @@ class SweepResult:
             f"{self.elapsed_s:.2f}s wall"
             f" ({self.retried_shards} retried, {len(self.failures)} failed;"
             f" render cache {self.render_hits} hits / {self.render_misses} misses;"
-            f" frame store {self.store_hits} hits / {self.store_misses} misses)"
+            f" frame store [{self.store_mode}] {self.store_hits} hits /"
+            f" {self.store_misses} misses)"
         ]
         for failure in self.failures:
             first_line = failure.error.strip().splitlines()[-1]
@@ -229,6 +281,11 @@ class SweepEngine:
         self.jobs = jobs
         self.retries = retries
         self._pool: ProcessPoolExecutor | None = None
+        # Cross-process store this engine owns (created lazily on the
+        # first store-enabled jobs>1 sweep, kept warm across runs so a
+        # macro-bench repeat starts with the same hot store a sequential
+        # repeat enjoys from the process-wide private store).
+        self._shared_store: Any = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -242,6 +299,21 @@ class SweepEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._shared_store is not None:
+            # After the pool: workers must be gone before segment names
+            # are unlinked (their live mappings survive regardless, but a
+            # mid-shard attach of a just-unlinked name would fail).
+            self._shared_store.close()
+            self._shared_store = None
+
+    def _ensure_shared_store(self, budget_bytes: int) -> Any:
+        from repro.video.framestore import SharedFrameStore
+
+        if self._shared_store is None:
+            self._shared_store = SharedFrameStore.create(budget_bytes)
+        elif self._shared_store.max_bytes != budget_bytes:
+            self._shared_store.set_budget(budget_bytes)
+        return self._shared_store
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -301,20 +373,18 @@ class SweepEngine:
 
         render_cache = config.render_cache_size if config is not None else None
         frame_store_mb = config.frame_store_mb if config is not None else None
-        if frame_store_mb is not None:
-            # Configure the parent's process-wide store too: the inline
-            # (jobs=1) path renders through the caller's clips, whose
-            # renderers resolve the default store at render time.  Workers
-            # configure their own store in ``ClipSpec.build()``.
-            from repro.video.framestore import BYTES_PER_MB, configure_default
-
-            configure_default(frame_store_mb * BYTES_PER_MB)
         clip_specs = [
             ClipSpec.from_clip(
                 clip, render_cache=render_cache, frame_store_mb=frame_store_mb
             )
             for clip in suite
         ]
+        # One budget per sweep, decided here at spec-construction time —
+        # clips must not reconfigure the store mid-sweep (uniform today
+        # because the budget comes from one config, but the invariant is
+        # what callers composing specs by hand rely on).
+        store_mb = validate_store_budgets(clip_specs)
+        store_cfg, store_mode = self._prepare_store(store_mb)
         collect_obs = obs is not None and self.jobs > 1
         shards = [
             ShardSpec(
@@ -328,12 +398,18 @@ class SweepEngine:
                 iou_threshold=iou_threshold,
                 keep_run=keep_runs,
                 collect_obs=collect_obs,
+                store=store_cfg,
             )
             for mi, name in enumerate(methods)
             for ci in range(len(clip_specs))
         ]
 
         start = time.perf_counter()
+        owner_evicted0 = (
+            self._shared_store.stats()["evicted_bytes"]
+            if self._shared_store is not None
+            else 0
+        )
         if self.jobs == 1:
             settled = self._execute_inline(
                 shards, suite, obs, progress, shard_runner
@@ -343,9 +419,52 @@ class SweepEngine:
         result = self._reduce(methods, suite, settled, obs)
         result.jobs = self.jobs
         result.total_shards = len(shards)
+        result.store_mode = store_mode
+        if self._shared_store is not None:
+            # Evictions happen owner-side only; add the delta once here
+            # rather than once per shard (see run_shard).
+            result.store_evicted_bytes += (
+                self._shared_store.stats()["evicted_bytes"] - owner_evicted0
+            )
         result.elapsed_s = time.perf_counter() - start
         self._record_engine_metrics(obs, result)
         return result
+
+    def _prepare_store(
+        self, store_mb: int | None
+    ) -> tuple[StoreConfig | None, str]:
+        """Set up the sweep's frame store; returns (worker config, mode).
+
+        The parent's process-wide store is budgeted either way — the
+        inline ``jobs=1`` path renders through the caller's clips, whose
+        renderers resolve it at render time.  Pool sweeps additionally
+        get a worker-side config: cross-process shared segments where the
+        platform supports them, per-worker private stores otherwise.
+        """
+        from repro.video.framestore import (
+            BYTES_PER_MB,
+            configure_default,
+            shared_store_available,
+        )
+
+        if store_mb is None:
+            return None, "none"
+        budget = store_mb * BYTES_PER_MB
+        configure_default(budget)
+        if budget == 0:
+            # An explicit zero budget disables the store everywhere; no
+            # point shipping workers a config for a store that stores
+            # nothing.
+            return None, "none"
+        if self.jobs == 1:
+            return None, "private"
+        if shared_store_available():
+            store = self._ensure_shared_store(budget)
+            return (
+                StoreConfig(mode="shared", budget_bytes=budget, token=store.token),
+                "shared",
+            )
+        return StoreConfig(mode="private", budget_bytes=budget), "private"
 
     def _execute_inline(
         self,
@@ -384,19 +503,28 @@ class SweepEngine:
     ) -> dict[int, ShardResult]:
         """Fan shards out over the pool; retry failures once each.
 
-        Submission is clip-major so consecutive shards share a clip and
-        tend to hit a worker's warm clip cache; completion order does not
-        matter because reduction is by grid index.
+        Scheduling is longest-first with idle-worker pull: shards are
+        ordered by estimated cost (LPT) and at most ``jobs + 1`` are
+        in flight, so a worker that finishes early steals the next
+        longest remaining shard instead of sitting idle while a
+        statically assigned batch drains — the old clip-major submission
+        let one expensive method gate the whole sweep.  Completion order
+        does not matter because reduction is by grid index.
         """
         settled: dict[int, ShardResult] = {}
-        queue = deque(sorted(shards, key=lambda s: (s.clip_index, s.index)))
+        queue = order_shards(shards)
         inflight: dict[Any, ShardSpec] = {}
         stalled_rebuilds = 0
+        # One spare beyond the worker count: a freed worker immediately
+        # picks up the single executor-queued shard, and the top-up below
+        # replaces it — cost-aware work stealing without touching the
+        # executor's internals.
+        max_inflight = self.jobs + 1
         while queue or inflight:
             pool = self._ensure_pool()
             pool_broken = False
             try:
-                while queue:
+                while queue and len(inflight) < max_inflight:
                     spec = queue.popleft()
                     inflight[pool.submit(shard_runner, spec)] = spec
             except BrokenProcessPool:
@@ -421,11 +549,19 @@ class SweepEngine:
                             spec, traceback.format_exc()
                         )
                     if result.error is not None and spec.attempt < self.retries:
-                        queue.append(replace(spec, attempt=spec.attempt + 1))
+                        # Retry at the queue head: the shard already
+                        # proved expensive enough to fail late, and a
+                        # retry finishing last would gate the sweep.
+                        queue.appendleft(replace(spec, attempt=spec.attempt + 1))
                         continue
                     settled[spec.index] = result
                     if progress is not None:
                         progress(len(settled), len(shards), result)
+                if self._shared_store is not None:
+                    # Owner-side reclamation between completions: workers
+                    # only read and insert, so this is the one place
+                    # over-budget segments get unlinked.
+                    self._shared_store.reclaim()
             else:
                 stalled_rebuilds += 1
                 if stalled_rebuilds > 5:
@@ -487,6 +623,7 @@ class SweepEngine:
                 out.store_hits += shard.store_hits
                 out.store_misses += shard.store_misses
                 out.store_evicted_bytes += shard.store_evicted_bytes
+                out.store_lease_waits += shard.store_lease_waits
                 if obs is not None and (shard.spans or shard.metrics):
                     for span in shard.spans:
                         obs.sink.record_span(span)
@@ -509,6 +646,7 @@ class SweepEngine:
         obs.counter("sweep.store_hits").inc(result.store_hits)
         obs.counter("sweep.store_misses").inc(result.store_misses)
         obs.counter("sweep.store_evicted_bytes").inc(result.store_evicted_bytes)
+        obs.counter("sweep.store_lease_waits").inc(result.store_lease_waits)
         obs.gauge("sweep.jobs").set(self.jobs)
 
 

@@ -20,6 +20,7 @@ from repro.metrics.energy import ActivityLog
 from repro.obs.trace import Span
 from repro.runtime.simulator import PipelineRun
 from repro.video.dataset import VideoClip, make_clip
+from repro.video.framestore import StoreToken
 from repro.video.scenario import ScenarioConfig
 
 
@@ -32,9 +33,10 @@ class ClipSpec:
     name: str
     render_cache: int = 64
     # MiB budget for the worker's process-wide FrameStore (None = leave it
-    # alone).  Part of the clip spec because workers configure their store
-    # on first build — the parent's store object cannot cross the process
-    # boundary, but the budget (and the content-addressed keys) can.
+    # alone).  The budget is *declared* here but applied exactly once per
+    # worker via ``StoreConfig`` on the shard spec — ``build()`` must not
+    # reconfigure the store, or a sweep mixing budgets would silently
+    # evict mid-run (see ``validate_store_budgets``).
     frame_store_mb: int | None = None
 
     @classmethod
@@ -55,13 +57,53 @@ class ClipSpec:
         )
 
     def build(self) -> VideoClip:
-        if self.frame_store_mb is not None:
-            from repro.video.framestore import BYTES_PER_MB, configure_default
-
-            configure_default(self.frame_store_mb * BYTES_PER_MB)
         return make_clip(
             self.config, seed=self.seed, name=self.name, render_cache=self.render_cache
         )
+
+
+def validate_store_budgets(clip_specs: "list[ClipSpec]") -> int | None:
+    """The sweep's single frame-store budget (MiB), or ``None`` if unset.
+
+    A sweep must run under one budget: the store is process-wide, so a
+    clip carrying a different ``frame_store_mb`` would reconfigure (and
+    possibly evict) the store mid-sweep for every method sharing it.
+    Raises ``ValueError`` when the specs disagree; ``None`` entries mean
+    "no opinion" and never conflict.
+    """
+    budgets = {s.frame_store_mb for s in clip_specs if s.frame_store_mb is not None}
+    if len(budgets) > 1:
+        raise ValueError(
+            "sweep clips declare conflicting frame_store_mb budgets "
+            f"{sorted(budgets)}; a sweep runs under one store budget"
+        )
+    return budgets.pop() if budgets else None
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """How a worker should set up its frame store, applied once per worker.
+
+    ``mode`` selects the store class: ``"shared"`` attaches the parent's
+    cross-process :class:`~repro.video.framestore.SharedFrameStore` via
+    ``token``; ``"private"`` budgets the worker's in-process store.  The
+    engine stamps the same config on every shard of a sweep and the
+    worker applies it idempotently (same config twice is a no-op), which
+    is what guarantees "configure once per worker" even though specs
+    arrive one shard at a time.
+    """
+
+    mode: str  # "shared" | "private"
+    budget_bytes: int
+    token: StoreToken | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("shared", "private"):
+            raise ValueError(f"unknown store mode {self.mode!r}")
+        if self.mode == "shared" and self.token is None:
+            raise ValueError("shared store config needs a token")
+        if self.budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -97,6 +139,8 @@ class ShardSpec:
     keep_run: bool = False
     collect_obs: bool = False
     attempt: int = 0
+    # Worker store setup; identical across a sweep's shards (see StoreConfig).
+    store: StoreConfig | None = None
 
 
 @dataclass
@@ -124,6 +168,7 @@ class ShardResult:
     store_hits: int = 0
     store_misses: int = 0
     store_evicted_bytes: int = 0
+    store_lease_waits: int = 0
     elapsed_s: float = 0.0
     worker_pid: int = 0
     attempt: int = 0

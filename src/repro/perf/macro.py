@@ -165,23 +165,45 @@ def run_macro_benchmark(
         # Store counters from the warm-up/identity pass (the cold-store
         # run): misses = frames actually rendered, hits = frames served
         # from the shared store.  With a budget that fits the suite,
-        # misses stay at ~unique-frames per arm no matter how many
-        # methods rescan each clip.
+        # misses stay at ~unique-frames fleet-wide no matter how many
+        # methods (or workers) rescan each clip — the parallel arm's
+        # cross-process store is what makes that hold at jobs > 1.
         "frame_store": {
             "budget_mb": frame_store_mb,
             "sequential": {
+                "store_mode": sequential.store_mode,
                 "hits": sequential.store_hits,
                 "misses": sequential.store_misses,
                 "evicted_bytes": sequential.store_evicted_bytes,
+                "lease_waits": sequential.store_lease_waits,
             },
             "parallel": {
+                "store_mode": parallel.store_mode,
                 "hits": parallel.store_hits,
                 "misses": parallel.store_misses,
                 "evicted_bytes": parallel.store_evicted_bytes,
+                "lease_waits": parallel.store_lease_waits,
             },
         },
     }
     return new_macro_document(quick=quick, benches=[bench])
+
+
+def merge_sweep_bench(doc: dict | None, bench: dict, quick: bool) -> dict:
+    """Merge a sweep bench into an existing macro document (or start one).
+
+    ``BENCH_macro.json`` is shared with the serve ladder; regenerating
+    the sweep bench must replace only the same-name entry and keep the
+    rest — mirrors :func:`repro.serve.bench.merge_serve_bench`.
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("benches"), list):
+        doc = new_macro_document(quick=quick)
+    doc["benches"] = [
+        entry for entry in doc["benches"] if entry.get("name") != bench["name"]
+    ] + [bench]
+    doc["quick"] = quick
+    doc["created_unix"] = time.time()
+    return doc
 
 
 _REQUIRED_TOP_KEYS = (
@@ -224,7 +246,12 @@ _REQUIRED_SERVE_RUNG_KEYS = (
 )
 
 
-def _validate_sweep_bench(bench: dict, doc: dict, min_speedup: float | None) -> None:
+def _validate_sweep_bench(
+    bench: dict,
+    doc: dict,
+    min_speedup: float | None,
+    min_store_hit_ratio: float | None = None,
+) -> None:
     for key in _REQUIRED_SWEEP_BENCH_KEYS:
         if key not in bench:
             raise ValueError(
@@ -249,6 +276,31 @@ def _validate_sweep_bench(bench: dict, doc: dict, min_speedup: float | None) -> 
                     f"bench {bench['name']!r} frame_store.{arm} "
                     f"missing key {key!r}"
                 )
+        # store_mode/lease_waits arrived with the cross-process store;
+        # pre-existing documents omit them.  When present, the mode must
+        # be one the engine can actually report.
+        mode = store[arm].get("store_mode")
+        if mode is not None and mode not in ("shared", "private", "none"):
+            raise ValueError(
+                f"bench {bench['name']!r} frame_store.{arm} has unknown "
+                f"store_mode {mode!r}"
+            )
+    if min_store_hit_ratio is not None:
+        # The render-once parity gate: the pool must reuse (nearly) every
+        # frame the sequential arm reuses.  One-sided — the parallel arm
+        # legitimately hits *more* often, because worker-local renderer
+        # caches are colder than the parent's and fall through to the
+        # store.  Host-independent (cache behaviour, not wall clock), so
+        # no cpu_count waiver.
+        seq_hits = store["sequential"]["hits"]
+        par_hits = store["parallel"]["hits"]
+        required = min_store_hit_ratio * seq_hits
+        if par_hits < required:
+            raise ValueError(
+                f"bench {bench['name']!r} parallel-arm store hits {par_hits} "
+                f"below {min_store_hit_ratio:.0%} of sequential arm "
+                f"({seq_hits} hits; required >= {required:.0f})"
+            )
     if min_speedup is not None:
         cpu_count = doc["host"]["cpu_count"]
         if isinstance(cpu_count, int) and cpu_count < 2:
@@ -324,6 +376,7 @@ def validate_macro_doc(
     doc: dict,
     min_speedup: float | None = None,
     min_sustained_streams: int | None = None,
+    min_store_hit_ratio: float | None = None,
 ) -> list[str]:
     """Schema check for ``BENCH_macro.json``; returns the bench names.
 
@@ -332,6 +385,9 @@ def validate_macro_doc(
     the sweep-smoke job asserts the pool actually pays for itself; it is
     optional because the document is also written on hosts where parallel
     wall-clock wins are impossible (see ``host.cpu_count``).
+    ``min_store_hit_ratio`` is the render-once parity gate: the parallel
+    arm's store hits must reach that fraction of the sequential arm's
+    (no host waiver — cache reuse does not need a second core).
     ``min_sustained_streams`` is the serve CI gate: the serve-smoke job
     asserts the scheduler still sustains a floor fleet size at the
     realtime p99 SLO (host-independent — the ladder runs in virtual time).
@@ -366,7 +422,7 @@ def validate_macro_doc(
         if bench["failures"] != 0:
             raise ValueError(f"bench {bench['name']!r} recorded failures")
         if kind == "sweep":
-            _validate_sweep_bench(bench, doc, min_speedup)
+            _validate_sweep_bench(bench, doc, min_speedup, min_store_hit_ratio)
         elif kind == "serve":
             _validate_serve_bench(bench, min_sustained_streams)
         else:
@@ -389,10 +445,15 @@ def _format_sweep_bench(bench: dict) -> list[str]:
     store = bench.get("frame_store")
     if store:
         seq, par = store["sequential"], store["parallel"]
+
+        def _arm(label: str, arm: dict) -> str:
+            mode = arm.get("store_mode")
+            tag = f"[{mode}] " if mode else ""
+            return f"{label} {tag}{arm['hits']} hits / {arm['misses']} misses"
+
         lines.append(
             f"  frame store ({store['budget_mb']} MiB): "
-            f"seq {seq['hits']} hits / {seq['misses']} misses, "
-            f"par {par['hits']} hits / {par['misses']} misses"
+            f"{_arm('seq', seq)}, {_arm('par', par)}"
         )
     return lines
 

@@ -452,7 +452,11 @@ class FrameRenderer:
         frame = store.get(self._fingerprint, frame_index)
         if frame is None:
             frame = self.render_frame(frame_index)
-            store.put(self._fingerprint, frame_index, frame)
+            # Serve the canonical array the store settled on: under the
+            # cross-process store that is the shared-memory view (one
+            # physical copy fleet-wide), and under a racing first insert
+            # it is the winner — bit-identical bytes either way.
+            frame = store.put(self._fingerprint, frame_index, frame)
         if len(self._cache) >= self.cache_size:
             # True LRU: hits above refreshed recency, so the evicted entry
             # really is the least recently used one — not (as the old

@@ -82,3 +82,36 @@ class TestFrameStoreDeterminism:
             assert seq.activity.duration == par.activity.duration
             assert seq.energy().as_dict() == par.energy().as_dict()
         assert sequential.report() == stored.report()
+
+
+class TestSharedStoreDeterminism:
+    """Explicit jobs=2-vs-jobs=1 bit-identity with the store enabled on
+    both arms — the parallel arm runs on the cross-process store, the
+    sequential arm on the in-process one, and neither may change what a
+    sweep computes."""
+
+    def test_jobs2_shared_matches_jobs1_private(self):
+        from repro.core.config import PipelineConfig
+        from repro.parallel import run_sweep
+        from repro.video.framestore import configure_default, shared_store_available
+
+        config = PipelineConfig(frame_store_mb=32)
+        try:
+            sequential = run_sweep(
+                _REDUCED_METHODS, quick_suite(frames=48), jobs=1, config=config
+            )
+            parallel = run_sweep(
+                _REDUCED_METHODS, quick_suite(frames=48), jobs=2, config=config
+            )
+        finally:
+            configure_default(0)
+        assert sequential.store_mode == "private"
+        if shared_store_available():
+            assert parallel.store_mode == "shared"
+        for name in _REDUCED_METHODS:
+            seq, par = sequential.results[name], parallel.results[name]
+            assert seq.per_video_accuracy == par.per_video_accuracy
+            assert seq.per_video_mean_f1 == par.per_video_mean_f1
+            assert seq.activity.duration == par.activity.duration
+            assert dict(seq.activity.gpu_busy) == dict(par.activity.gpu_busy)
+            assert seq.energy().as_dict() == par.energy().as_dict()

@@ -192,3 +192,73 @@ class TestEngineLifecycle:
             first.results["adavp"].per_video_accuracy
             == second.results["adavp"].per_video_accuracy
         )
+
+
+class TestStoreModes:
+    """Which frame store backs a sweep, and the render-once contract."""
+
+    def _run(self, jobs, store_mb, frames=24):
+        from repro.core.config import PipelineConfig
+        from repro.video.framestore import configure_default
+
+        config = (
+            PipelineConfig(frame_store_mb=store_mb) if store_mb is not None else None
+        )
+        try:
+            return run_sweep(
+                _METHODS, _small_suite(frames=frames), jobs=jobs, config=config
+            )
+        finally:
+            configure_default(0)  # don't leak the budget into other tests
+
+    def test_no_budget_reports_none(self):
+        assert self._run(jobs=1, store_mb=None).store_mode == "none"
+        assert self._run(jobs=1, store_mb=0).store_mode == "none"
+
+    def test_sequential_budgeted_sweep_uses_private_store(self):
+        assert self._run(jobs=1, store_mb=32).store_mode == "private"
+
+    def test_pool_budgeted_sweep_uses_shared_store(self):
+        from repro.video.framestore import shared_store_available
+
+        sweep = self._run(jobs=2, store_mb=32)
+        expected = "shared" if shared_store_available() else "private"
+        assert sweep.store_mode == expected
+
+    def test_pool_sweep_renders_each_frame_once_fleet_wide(self):
+        from repro.video.framestore import shared_store_available
+
+        if not shared_store_available():
+            pytest.skip("needs the cross-process store")
+        frames = 24
+        suite = _small_suite(frames=frames)
+        unique_frames = sum(clip.config.num_frames for clip in suite.clips)
+        sweep = self._run(jobs=2, store_mb=64, frames=frames)
+        assert sweep.ok, sweep.summary()
+        # Render-once: fleet-wide misses cannot exceed the unique frame
+        # count no matter how many workers scan the same clips.
+        assert sweep.store_misses <= unique_frames
+        assert sweep.store_lease_waits >= 0
+
+    def test_lease_waits_funnelled_to_obs(self):
+        obs = Telemetry(InMemorySink())
+        from repro.core.config import PipelineConfig
+        from repro.video.framestore import configure_default
+
+        try:
+            run_sweep(
+                _METHODS,
+                _small_suite(frames=12),
+                jobs=1,
+                config=PipelineConfig(frame_store_mb=16),
+                obs=obs,
+            )
+        finally:
+            configure_default(0)
+        obs.flush()
+        counters = {
+            record["name"]
+            for record in obs.sink.last_metrics()
+            if record["kind"] == "counter"
+        }
+        assert "sweep.store_lease_waits" in counters

@@ -94,3 +94,70 @@ class TestShardSpecDefaults:
         assert not spec.keep_run
         assert not spec.collect_obs
         assert spec.attempt == 0
+
+
+class TestStoreConfig:
+    def test_validation(self):
+        from repro.parallel import StoreConfig
+        from repro.video.framestore import StoreToken
+
+        with pytest.raises(ValueError, match="unknown store mode"):
+            StoreConfig(mode="global", budget_bytes=1)
+        with pytest.raises(ValueError, match="needs a token"):
+            StoreConfig(mode="shared", budget_bytes=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            StoreConfig(mode="private", budget_bytes=-1)
+        token = StoreToken(control="seg", lock_path="/tmp/x.lock")
+        cfg = StoreConfig(mode="shared", budget_bytes=64, token=token)
+        assert cfg.token is token
+
+    def test_round_trips_through_pickle_on_shard_spec(self):
+        from repro.parallel import StoreConfig
+        from repro.video.framestore import StoreToken
+
+        clip = make_clip("residential", seed=3, num_frames=6)
+        spec = ShardSpec(
+            index=0,
+            method=MethodSpec(name="adavp"),
+            clip=ClipSpec.from_clip(clip),
+            clip_index=0,
+            store=StoreConfig(
+                mode="shared",
+                budget_bytes=4096,
+                token=StoreToken(control="reprofs_1_ab", lock_path="/tmp/a.lock"),
+            ),
+        )
+        restored = pickle.loads(pickle.dumps(spec))
+        assert restored == spec
+        assert restored.store.token.control == "reprofs_1_ab"
+
+
+class TestStoreBudgetValidation:
+    def _spec(self, mb):
+        clip = make_clip("intersection", seed=1, num_frames=2)
+        return ClipSpec.from_clip(clip, frame_store_mb=mb)
+
+    def test_uniform_budget_accepted(self):
+        from repro.parallel import validate_store_budgets
+
+        assert validate_store_budgets([self._spec(32), self._spec(32)]) == 32
+        assert validate_store_budgets([self._spec(None), self._spec(None)]) is None
+        # None means "no opinion" and never conflicts with a real budget.
+        assert validate_store_budgets([self._spec(None), self._spec(16)]) == 16
+
+    def test_mixed_budgets_rejected(self):
+        from repro.parallel import validate_store_budgets
+
+        with pytest.raises(ValueError, match="conflicting frame_store_mb"):
+            validate_store_budgets([self._spec(32), self._spec(64)])
+
+    def test_build_no_longer_reconfigures_the_store(self):
+        # Regression: ClipSpec.build() used to call configure_default per
+        # clip, silently re-budgeting (and possibly evicting) the
+        # process-wide store mid-sweep.  Budgets are applied exactly once
+        # per worker via StoreConfig now.
+        from repro.video.framestore import default_store
+
+        before = default_store().max_bytes
+        self._spec(7).build()
+        assert default_store().max_bytes == before

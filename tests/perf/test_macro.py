@@ -62,12 +62,29 @@ class TestRunMacroBenchmark:
         assert 0 < par["misses"] <= unique_frames * bench["jobs"]
         assert par["evicted_bytes"] == 0
 
+    def test_arms_record_their_store_mode(self, macro_doc):
+        from repro.video.framestore import shared_store_available
+
+        store = macro_doc["benches"][0]["frame_store"]
+        assert store["sequential"]["store_mode"] == "private"
+        expected = "shared" if shared_store_available() else "private"
+        assert store["parallel"]["store_mode"] == expected
+        assert store["sequential"]["lease_waits"] >= 0
+        assert store["parallel"]["lease_waits"] >= 0
+
     def test_disabled_store_records_zero_counters(self):
         doc = run_macro_benchmark(jobs=2, repeats=1, quick=True, frame_store_mb=0)
         store = doc["benches"][0]["frame_store"]
         assert store["budget_mb"] == 0
-        assert store["sequential"] == {"hits": 0, "misses": 0, "evicted_bytes": 0}
-        assert store["parallel"] == {"hits": 0, "misses": 0, "evicted_bytes": 0}
+        zeros = {
+            "store_mode": "none",
+            "hits": 0,
+            "misses": 0,
+            "evicted_bytes": 0,
+            "lease_waits": 0,
+        }
+        assert store["sequential"] == zeros
+        assert store["parallel"] == zeros
 
     def test_document_is_json_serialisable(self, macro_doc, tmp_path):
         path = tmp_path / "BENCH_macro.json"
@@ -149,3 +166,122 @@ class TestValidateMacroDoc:
         with pytest.raises(ValueError, match="below required"):
             validate_macro_doc(doc, min_speedup=1.7)
         assert "skipping" not in capsys.readouterr().err
+
+
+class TestStoreHitRatioGate:
+    def test_parity_passes(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["frame_store"]
+        store["sequential"]["hits"] = 300
+        store["parallel"]["hits"] = 290
+        assert validate_macro_doc(doc, min_store_hit_ratio=0.9) == [MACRO_BENCH_NAME]
+
+    def test_private_store_regression_fails(self, macro_doc):
+        """The motivating bug: per-worker private stores at jobs=4 showed
+        21 parallel hits against 318 sequential — the gate must catch
+        that shape."""
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["frame_store"]
+        store["sequential"]["hits"] = 318
+        store["parallel"]["hits"] = 21
+        with pytest.raises(ValueError, match="below 90% of sequential"):
+            validate_macro_doc(doc, min_store_hit_ratio=0.9)
+
+    def test_gate_is_one_sided(self, macro_doc):
+        # Worker-local renderer caches are colder than the parent's, so
+        # the parallel arm legitimately hits the store *more*.
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["frame_store"]
+        store["sequential"]["hits"] = 100
+        store["parallel"]["hits"] = 400
+        assert validate_macro_doc(doc, min_store_hit_ratio=0.9) == [MACRO_BENCH_NAME]
+
+    def test_no_waiver_on_single_core(self, macro_doc):
+        # Unlike --min-speedup, cache reuse needs no second core: the
+        # gate holds everywhere.
+        doc = copy.deepcopy(macro_doc)
+        doc["host"]["cpu_count"] = 1
+        store = doc["benches"][0]["frame_store"]
+        store["sequential"]["hits"] = 318
+        store["parallel"]["hits"] = 21
+        with pytest.raises(ValueError, match="below 90% of sequential"):
+            validate_macro_doc(doc, min_store_hit_ratio=0.9)
+
+    def test_unknown_store_mode_rejected(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["frame_store"]["parallel"]["store_mode"] = "global"
+        with pytest.raises(ValueError, match="unknown store_mode"):
+            validate_macro_doc(doc)
+
+    def test_legacy_arms_without_store_mode_still_validate(self, macro_doc):
+        """Documents written before the cross-process store lack
+        store_mode/lease_waits; the schema (and even the ratio gate)
+        must keep accepting them."""
+        doc = copy.deepcopy(macro_doc)
+        for arm in ("sequential", "parallel"):
+            entry = doc["benches"][0]["frame_store"][arm]
+            entry.pop("store_mode", None)
+            entry.pop("lease_waits", None)
+        assert validate_macro_doc(doc) == [MACRO_BENCH_NAME]
+        assert validate_macro_doc(doc, min_store_hit_ratio=0.0) == [MACRO_BENCH_NAME]
+
+
+class TestMergeSweepBench:
+    def _serve_stub(self):
+        return {
+            "name": "serve_fleet_ladder",
+            "kind": "serve",
+            "workload": {},
+            "slo_realtime_s": 2.0,
+            "rungs": [
+                {
+                    "streams": 16,
+                    "realtime_wait_p99_s": 0.9,
+                    "served_per_sim_second": 50.0,
+                    "wall_s": 1.0,
+                    "digest": "d",
+                }
+            ],
+            "sustained_streams": 16,
+            "results_identical": True,
+            "failures": 0,
+        }
+
+    def test_merge_into_none_starts_fresh(self, macro_doc):
+        from repro.perf.macro import merge_sweep_bench
+
+        bench = copy.deepcopy(macro_doc["benches"][0])
+        doc = merge_sweep_bench(None, bench, quick=True)
+        assert validate_macro_doc(doc) == [MACRO_BENCH_NAME]
+
+    def test_merge_preserves_serve_bench(self, macro_doc):
+        """Regenerating the sweep bench must not drop the serve ladder
+        that shares BENCH_macro.json."""
+        from repro.perf.macro import merge_sweep_bench
+
+        existing = copy.deepcopy(macro_doc)
+        existing["benches"].append(self._serve_stub())
+        bench = copy.deepcopy(macro_doc["benches"][0])
+        bench["speedup"] = 9.9
+        doc = merge_sweep_bench(existing, bench, quick=True)
+        names = validate_macro_doc(doc)
+        assert set(names) == {MACRO_BENCH_NAME, "serve_fleet_ladder"}
+        sweep = next(b for b in doc["benches"] if b["name"] == MACRO_BENCH_NAME)
+        assert sweep["speedup"] == 9.9
+        assert len(doc["benches"]) == 2
+
+    def test_merge_replaces_same_name_only_once(self, macro_doc):
+        from repro.perf.macro import merge_sweep_bench
+
+        bench = copy.deepcopy(macro_doc["benches"][0])
+        doc = merge_sweep_bench(copy.deepcopy(macro_doc), bench, quick=True)
+        doc = merge_sweep_bench(doc, bench, quick=True)
+        assert [b["name"] for b in doc["benches"]] == [MACRO_BENCH_NAME]
+
+    def test_merge_into_corrupt_doc_starts_fresh(self, macro_doc):
+        from repro.perf.macro import merge_sweep_bench
+
+        bench = copy.deepcopy(macro_doc["benches"][0])
+        doc = merge_sweep_bench({"benches": "not-a-list"}, bench, quick=False)
+        assert doc["quick"] is False
+        assert validate_macro_doc(doc) == [MACRO_BENCH_NAME]

@@ -203,3 +203,34 @@ class TestRendererIntegration:
             assert default_store().misses >= 1
         finally:
             configure_default(0)
+
+
+class TestPutReturnContract:
+    def test_put_returns_stored_frame_frozen(self):
+        store = FrameStore(1024)
+        frame = _frame(64)
+        assert store.put("fp", 0, frame) is frame
+        assert not frame.flags.writeable
+
+    def test_rejected_duplicate_stays_writable(self):
+        # Regression: put() used to freeze the caller's array *before*
+        # the duplicate-key check, so the loser of a racing double
+        # insert got its own freshly rendered frame frozen under it.
+        store = FrameStore(1024)
+        winner = _frame(64, fill=1)
+        store.put("fp", 0, winner)
+        loser = _frame(64, fill=2)
+        returned = store.put("fp", 0, loser)
+        assert returned is winner
+        assert loser.flags.writeable
+        loser[0] = 99  # the loser still owns its array
+
+    def test_disabled_and_oversized_puts_leave_frame_writable(self):
+        disabled = FrameStore(0)
+        frame = _frame(64)
+        assert disabled.put("fp", 0, frame) is frame
+        assert frame.flags.writeable
+        tiny = FrameStore(32)
+        big = _frame(64)
+        assert tiny.put("fp", 0, big) is big
+        assert big.flags.writeable

@@ -1,0 +1,292 @@
+"""Cross-process shared frame store: index semantics, leases, processes.
+
+The spawn-crossing workers are module-level functions so the spawn start
+method can pickle them by reference and reimport them inside the child
+process (same pattern as ``tests/parallel/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import framestore
+from repro.video.framestore import (
+    BYTES_PER_MB,
+    FrameStore,
+    SharedFrameStore,
+    install_store,
+    shared_store_available,
+)
+from repro.video.library import make_scenario
+from repro.video.render import FrameRenderer
+from repro.video.scene import Scene
+
+pytestmark = pytest.mark.skipif(
+    not shared_store_available(),
+    reason="cross-process store needs POSIX shared memory + fcntl",
+)
+
+
+def _frame(nbytes: int, fill: int = 1) -> np.ndarray:
+    return np.full(nbytes, fill, dtype=np.uint8)
+
+
+@pytest.fixture()
+def store():
+    shared = SharedFrameStore.create(64 * 1024)
+    yield shared
+    shared.close()
+
+
+class TestSharedStoreCore:
+    def test_roundtrip_and_counters(self, store):
+        assert store.get("fp", 0) is None
+        frame = _frame(64)
+        served = store.put("fp", 0, frame)
+        assert np.array_equal(served, frame)
+        again = store.get("fp", 0)
+        assert np.array_equal(again, frame)
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["current_bytes"] == 64
+
+    def test_served_frames_are_read_only_and_caller_keeps_ownership(self, store):
+        frame = _frame(64)
+        served = store.put("fp", 0, frame)
+        with pytest.raises(ValueError):
+            served[0] = 99
+        # The caller's own array is copied into the segment, not frozen:
+        # it stays writable because the caller still owns it.
+        assert frame.flags.writeable
+
+    def test_first_insert_wins_returns_canonical(self, store):
+        first = store.put("fp", 0, _frame(64, fill=1))
+        second = store.put("fp", 0, _frame(64, fill=2))
+        assert np.array_equal(second, first)
+        assert second[0] == 1
+        assert store.stats()["current_bytes"] == 64
+
+    def test_oversized_frame_not_stored(self):
+        small = SharedFrameStore.create(32)
+        try:
+            frame = _frame(64)
+            assert small.put("fp", 0, frame) is frame
+            assert frame.flags.writeable
+            stats = small.stats()
+            assert stats["entries"] == 0 and stats["current_bytes"] == 0
+        finally:
+            small.close()
+
+    def test_owner_put_evicts_lru_over_budget(self):
+        owner = SharedFrameStore.create(3 * 64)
+        try:
+            for i in range(3):
+                owner.put("fp", i, _frame(64))
+            owner.get("fp", 0)  # 0 becomes most-recent; 1 is now LRU
+            owner.put("fp", 3, _frame(64))
+            stats = owner.stats()
+            assert stats["evictions"] == 1 and stats["evicted_bytes"] == 64
+            assert stats["entries"] == 3
+            assert owner.get("fp", 0) is not None
+        finally:
+            owner.close()
+
+    def test_attached_instance_shares_entries(self, store):
+        reader = SharedFrameStore.attach(store.token)
+        frame = _frame(128, fill=7)
+        store.put("fp", 5, frame)
+        served = reader.get("fp", 5)
+        assert np.array_equal(served, frame)
+        # Counters are process-local per instance; the map is shared.
+        assert reader.stats()["hits"] == 1
+        assert store.stats()["hits"] == 0
+        assert reader.stats()["entries"] == store.stats()["entries"] == 1
+
+    def test_worker_inserts_wait_for_owner_reclaim(self, store):
+        worker = SharedFrameStore.attach(store.token)
+        budget = store.max_bytes
+        for i in range(3):
+            worker.put("fp", i, _frame(budget // 2))
+        # Non-owners never unlink: the map runs over budget until the
+        # owner reclaims.
+        assert store.stats()["current_bytes"] > budget
+        freed = store.reclaim()
+        assert freed > 0
+        stats = store.stats()
+        assert stats["current_bytes"] <= budget
+        assert stats["evicted_bytes"] == freed
+
+    def test_reclaim_is_owner_only(self, store):
+        worker = SharedFrameStore.attach(store.token)
+        worker.put("fp", 0, _frame(store.max_bytes))
+        worker.put("fp", 1, _frame(store.max_bytes))
+        assert worker.reclaim() == 0
+        assert store.stats()["current_bytes"] > store.max_bytes
+
+    def test_set_budget_zero_disables_and_drops(self, store):
+        store.put("fp", 0, _frame(64))
+        store.set_budget(0)
+        assert not store.enabled
+        stats = store.stats()
+        assert stats["entries"] == 0 and stats["current_bytes"] == 0
+        frame = _frame(64)
+        assert store.put("fp", 1, frame) is frame
+
+    def test_attached_instance_sees_rebudget(self, store):
+        worker = SharedFrameStore.attach(store.token)
+        store.set_budget(0)
+        assert worker.get("fp", 0) is None
+        assert worker.stats()["misses"] == 0  # disabled stores never count
+        store.set_budget(64 * 1024)
+        assert worker.get("fp", 0) is None
+        assert worker.stats()["misses"] == 1
+
+    def test_clear_keeps_budget(self, store):
+        store.put("fp", 0, _frame(64))
+        store.clear()
+        stats = store.stats()
+        assert stats["entries"] == 0 and stats["current_bytes"] == 0
+        assert store.enabled
+
+    def test_lease_takeover_after_timeout(self, store, monkeypatch):
+        monkeypatch.setattr(framestore, "_LEASE_TIMEOUT_S", 0.05)
+        assert store.get("fp", 0) is None  # claims the render lease
+        # The claimant never delivers; a second reader waits the lease
+        # out, then takes over the render itself.
+        assert store.get("fp", 0) is None
+        stats = store.stats()
+        assert stats["misses"] == 2
+        assert stats["lease_waits"] == 1
+
+    def test_lease_filled_by_put_counts_one_render(self, store):
+        assert store.get("fp", 3) is None
+        frame = _frame(64, fill=9)
+        store.put("fp", 3, frame)
+        served = store.get("fp", 3)
+        assert np.array_equal(served, frame)
+        stats = store.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+class TestSharedMirrorsPrivateProperty:
+    """The shared map's budget accounting mirrors the in-process LRU.
+
+    Single-process owner use of :class:`SharedFrameStore` has exactly
+    :class:`FrameStore` semantics (byte budget, LRU order, first insert
+    wins, inline eviction), so the in-process store doubles as the
+    executable model.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        budget=st.integers(min_value=1, max_value=512),
+        puts=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),   # frame index
+                st.integers(min_value=1, max_value=256),  # nbytes
+            ),
+            max_size=30,
+        ),
+    )
+    def test_shared_map_matches_in_process_model(self, budget, puts):
+        model = FrameStore(budget)
+        shared = SharedFrameStore.create(budget)
+        try:
+            for index, nbytes in puts:
+                # Fill derived from the key so byte-equality below is a
+                # real check, not vacuous.
+                fill = (index * 31 + nbytes) % 251
+                model.put("fp", index, _frame(nbytes, fill=fill))
+                shared.put("fp", index, _frame(nbytes, fill=fill))
+                stats = shared.stats()
+                assert stats["current_bytes"] == model.current_bytes
+                assert stats["current_bytes"] <= budget
+            stats = shared.stats()
+            assert stats["entries"] == len(model)
+            assert stats["evictions"] == model.evictions
+            assert stats["evicted_bytes"] == model.evicted_bytes
+            for index in range(13):
+                expected = model.get("fp", index)
+                if expected is None:
+                    continue
+                assert np.array_equal(shared.get("fp", index), expected)
+        finally:
+            shared.close()
+
+
+def _render_via_shared_store(token, scenario, seed, frames, queue):
+    """Spawn worker: render a clip through an attached shared store."""
+    from repro.video.framestore import SharedFrameStore
+    from repro.video.library import make_scenario
+    from repro.video.render import FrameRenderer
+    from repro.video.scene import Scene
+
+    shared = SharedFrameStore.attach(token)
+    scene = Scene(make_scenario(scenario, num_frames=frames), seed=seed)
+    renderer = FrameRenderer(scene, cache_size=1, frame_store=shared)
+    rendered = [np.asarray(renderer.render(i)).copy() for i in range(frames)]
+    stats = shared.stats()
+    queue.put((rendered, stats["misses"], stats["hits"]))
+
+
+class TestCrossProcess:
+    def test_shared_frames_equal_direct_render(self):
+        frames = 5
+        store = SharedFrameStore.create(16 * BYTES_PER_MB)
+        try:
+            ctx = mp.get_context("spawn")
+            queue = ctx.Queue()
+            procs = [
+                ctx.Process(
+                    target=_render_via_shared_store,
+                    args=(store.token, "intersection", 11, frames, queue),
+                )
+                for _ in range(2)
+            ]
+            for proc in procs:
+                proc.start()
+            outputs = [queue.get(timeout=120) for _ in procs]
+            for proc in procs:
+                proc.join(timeout=30)
+            direct = FrameRenderer(
+                Scene(make_scenario("intersection", num_frames=frames), seed=11),
+                cache_size=1,
+                frame_store=FrameStore(0),
+            )
+            for rendered, _, _ in outputs:
+                assert len(rendered) == frames
+                for index, frame in enumerate(rendered):
+                    assert np.array_equal(frame, direct.render_frame(index))
+            # Render-once fleet-wide: total misses across both worker
+            # processes is the unique frame count; everything else
+            # (including the second worker's whole clip) was served
+            # from shared memory.
+            total_misses = sum(misses for _, misses, _ in outputs)
+            assert total_misses == frames
+            assert store.stats()["entries"] == frames
+        finally:
+            store.close()
+
+
+class TestInstallOverlay:
+    def test_install_store_overrides_default_and_restores(self):
+        overlay = SharedFrameStore.create(1 * BYTES_PER_MB)
+        try:
+            previous = install_store(overlay)
+            try:
+                assert framestore.default_store() is overlay
+                renderer = FrameRenderer(
+                    Scene(make_scenario("boat", num_frames=2), seed=3),
+                    cache_size=1,
+                )
+                assert renderer.frame_store is overlay
+            finally:
+                install_store(previous)
+            assert framestore.default_store() is not overlay
+        finally:
+            overlay.close()
