@@ -82,7 +82,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     clip = make_clip(args.scenario, seed=args.seed, num_frames=args.frames)
     if telemetry is not None:
         clip.renderer.set_obs(telemetry)
-    method = make_method(args.method, obs=telemetry)
+    config = None
+    if getattr(args, "tracker_tier", None) is not None:
+        from repro.core.config import PipelineConfig
+
+        config = PipelineConfig(tracker_tier=args.tracker_tier)
+    method = make_method(args.method, config=config, obs=telemetry)
     run = run_method_on_clip(method, clip)
     accuracy, f1 = evaluate_run(run, clip)
     counts = run.source_counts()
@@ -407,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export telemetry (spans + metrics) as JSONL")
     run.add_argument("--obs", action="store_true",
                      help="print a telemetry summary after the run")
+    run.add_argument("--tracker-tier", choices=("lk", "mve"), default=None,
+                     help="override the tracker tier (default: the method's "
+                          "own tier; 'mve' selects block-motion tracking)")
     run.set_defaults(func=_cmd_run)
 
     obs = sub.add_parser("obs", help="run one method and report its telemetry")

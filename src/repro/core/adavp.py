@@ -46,6 +46,7 @@ class AdaVP:
         config: PipelineConfig | None = None,
         initial_setting: str | int = 512,
         obs: Telemetry | None = None,
+        method_name: str = "adavp",
     ) -> None:
         if thresholds is None:
             # Imported lazily: pretrained.py imports from adaptation, and
@@ -57,7 +58,7 @@ class AdaVP:
         self.config = config or PipelineConfig()
         self.policy = AdaptiveSettingPolicy(thresholds, initial_setting)
         self._pipeline = MPDTPipeline(
-            self.policy, self.config, method_name="adavp", obs=obs
+            self.policy, self.config, method_name=method_name, obs=obs
         )
 
     @classmethod

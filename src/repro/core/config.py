@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.tracking.tracker import TrackerConfig, TrackerLatencyModel
+from repro.tracking.mve import MVETrackerConfig
+from repro.tracking.tracker import (
+    TIER_LK,
+    TIER_MVE,
+    TrackerConfig,
+    TrackerLatencyModel,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,6 +32,13 @@ class PipelineConfig:
 
     detector_seed: int = 0
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    # Which tracker tier the pipeline runs between detections: "lk" (the
+    # paper's pyramidal Lucas-Kanade tracker) or "mve" (the block-motion
+    # fast tier, DESIGN.md §12).  The serve layer's "keyframe" tier is a
+    # stream state, not a pipeline configuration — a keyframe-only stream
+    # runs no tracker at all.
+    tracker_tier: str = TIER_LK
+    mve_tracker: MVETrackerConfig = field(default_factory=MVETrackerConfig)
     latency: TrackerLatencyModel = field(default_factory=TrackerLatencyModel)
     initial_fraction_objects: int = 4
     # Ablation: pin the tracking-frame fraction instead of the paper's
@@ -53,6 +66,11 @@ class PipelineConfig:
     frame_store_mb: int | None = None
 
     def __post_init__(self) -> None:
+        if self.tracker_tier not in (TIER_LK, TIER_MVE):
+            raise ValueError(
+                f"tracker_tier must be {TIER_LK!r} or {TIER_MVE!r}, "
+                f"got {self.tracker_tier!r}"
+            )
         if self.pyramid_cache_capacity < 0:
             raise ValueError("pyramid_cache_capacity must be non-negative")
         if self.render_cache_size is not None and self.render_cache_size < 1:
@@ -76,5 +94,7 @@ class PipelineConfig:
         """
         if fps <= 0:
             raise ValueError("fps must be positive")
-        per_frame = self.latency.per_frame_cost(self.initial_fraction_objects)
+        per_frame = self.latency.per_frame_cost(
+            self.initial_fraction_objects, self.tracker_tier
+        )
         return min(1.0, (1.0 / fps) / per_frame)

@@ -35,7 +35,8 @@ from repro.runtime.simulator import (
 )
 from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
 from repro.tracking.motion import MotionVelocityEstimator
-from repro.tracking.tracker import ObjectTracker
+from repro.tracking.mve import MVETracker
+from repro.tracking.tracker import TIER_MVE, ObjectTracker
 from repro.video.dataset import VideoClip
 from repro.video.source import CameraSource
 
@@ -197,11 +198,17 @@ class MPDTPipeline:
             activity.add_cpu("detect_assist", detection.latency)
 
             # --- tracker runs on the CPU during [t, detect_end) ---------------
-            tracker = ObjectTracker(
-                clip.frame, width, height, cfg.tracker,
-                seed=cfg.detector_seed * 1_000_003 + prev_frame,
-                pyramid_cache=pyramid_cache,
-            )
+            if cfg.tracker_tier == TIER_MVE:
+                tracker = MVETracker(
+                    clip.frame, width, height, cfg.mve_tracker,
+                    pyramid_cache=pyramid_cache,
+                )
+            else:
+                tracker = ObjectTracker(
+                    clip.frame, width, height, cfg.tracker,
+                    seed=cfg.detector_seed * 1_000_003 + prev_frame,
+                    pyramid_cache=pyramid_cache,
+                )
             estimator = MotionVelocityEstimator()
             tracker_time = t
             buffered = next_frame - prev_frame - 1
@@ -212,18 +219,32 @@ class MPDTPipeline:
             ).observe(buffered)
             if planned > 0:
                 tracker.initialize(prev_frame, prev_detection.detections)
-                obs.record_span(
-                    "mpdt.seed_features",
-                    tracker_time,
-                    tracker_time + cfg.latency.feature_extraction,
-                    frame=prev_frame,
-                )
-                tracker_time += cfg.latency.feature_extraction
-                activity.add_cpu("feature_extraction", cfg.latency.feature_extraction)
+                # MVE seeds from the boxes alone (seed_cost 0.0): no span,
+                # no charge.  The LK path below is numerically unchanged.
+                seed_cost = cfg.latency.seed_cost(cfg.tracker_tier)
+                if seed_cost > 0.0:
+                    obs.record_span(
+                        "mpdt.seed_features",
+                        tracker_time,
+                        tracker_time + seed_cost,
+                        frame=prev_frame,
+                    )
+                    tracker_time += seed_cost
+                    activity.add_cpu("feature_extraction", seed_cost)
                 for index in select_spread_indices(
                     prev_frame + 1, next_frame, planned
                 ):
-                    step_cost = cfg.latency.per_frame_cost(tracker.num_objects)
+                    if cfg.tracker_tier == TIER_MVE:
+                        # Charged from the measured block count the step is
+                        # about to match, not an object-count proxy.
+                        tracking_cost = cfg.latency.mve_track_latency(
+                            tracker.planned_blocks()
+                        )
+                    else:
+                        tracking_cost = cfg.latency.track_latency(
+                            tracker.num_objects
+                        )
+                    step_cost = tracking_cost + cfg.latency.overlay
                     if tracker_time + step_cost > detect_end:
                         # Cancelled: the detector is about to deliver.
                         obs.counter("mpdt.cancelled_steps").inc()
@@ -235,9 +256,7 @@ class MPDTPipeline:
                     )
                     obs.counter("mpdt.tracked_frames").inc()
                     tracker_time += step_cost
-                    activity.add_cpu(
-                        "tracking", cfg.latency.track_latency(tracker.num_objects)
-                    )
+                    activity.add_cpu("tracking", tracking_cost)
                     activity.add_cpu("overlay", cfg.latency.overlay)
                     board.post(
                         FrameResult(index, step.detections, SOURCE_TRACKER, tracker_time)

@@ -8,7 +8,7 @@ builds methods the same way, with the same shared :class:`PipelineConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -26,14 +26,37 @@ from repro.video.dataset import VideoClip, VideoSuite
 _SETTINGS = (320, 416, 512, 608)
 
 
+def _with_mve_tier(config: PipelineConfig) -> PipelineConfig:
+    from repro.tracking.tracker import TIER_MVE
+
+    return replace(config, tracker_tier=TIER_MVE)
+
+
 def _adavp_factory(name: str, config: PipelineConfig, kwargs: dict):
     return AdaVP(config=config, **kwargs)
+
+
+def _mve_factory(name: str, config: PipelineConfig, kwargs: dict):
+    """AdaVP adaptation over the block-motion fast tier (DESIGN.md §12)."""
+    return AdaVP(config=_with_mve_tier(config), method_name=name, **kwargs)
 
 
 def _mpdt_factory(setting: int):
     def build(name: str, config: PipelineConfig, kwargs: dict):
         return MPDTPipeline(
             FixedSettingPolicy(setting), config, method_name=name, **kwargs
+        )
+
+    return build
+
+
+def _mpdt_mve_factory(setting: int):
+    def build(name: str, config: PipelineConfig, kwargs: dict):
+        return MPDTPipeline(
+            FixedSettingPolicy(setting),
+            _with_mve_tier(config),
+            method_name=name,
+            **kwargs,
         )
 
     return build
@@ -67,9 +90,11 @@ def _build_registry():
     Each entry is ``name -> factory(name, config, kwargs)``; settings are
     bound here rather than re-derived from the name at construction time.
     """
-    registry = {"adavp": _adavp_factory}
+    registry = {"adavp": _adavp_factory, "mve": _mve_factory}
     for setting in _SETTINGS:
         registry[f"mpdt-{setting}"] = _mpdt_factory(setting)
+    for setting in _SETTINGS:
+        registry[f"mpdt-mve-{setting}"] = _mpdt_mve_factory(setting)
     for setting in _SETTINGS:
         registry[f"marlin-{setting}"] = _marlin_factory(setting)
     for setting in _SETTINGS:

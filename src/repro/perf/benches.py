@@ -19,8 +19,10 @@ from repro.core.config import PipelineConfig
 from repro.core.mpdt import FixedSettingPolicy, MPDTPipeline
 from repro.perf import reference, workloads
 from repro.perf.harness import BenchResult, time_callable
+from repro.tracking.mve import MVETracker, MVETrackerConfig
 from repro.video.framestore import FrameStore
 from repro.video.render import FrameRenderer
+from repro.vision.block_motion import block_motion_field
 from repro.vision.features import shi_tomasi_response, suppress_min_distance
 from repro.vision.image import gaussian_blur_batched
 from repro.vision.optical_flow import FramePyramid, track_features
@@ -108,6 +110,119 @@ def bench_lk_track(quick: bool) -> BenchResult:
             "active-row gathering + shared-coordinate gradient sampling vs. "
             "full-window resampling every iteration"
         ),
+    )
+
+
+def bench_block_motion_field(quick: bool) -> BenchResult:
+    """Coarse-to-fine block matching vs. the frozen per-block reference."""
+    wl = workloads.make_mve_workload()
+    optimized = block_motion_field(wl.pyramid_a, wl.pyramid_b, wl.points, wl.params)
+    ref = reference.block_motion_field_reference(
+        wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+    )
+    if not (
+        np.array_equal(optimized.vectors, ref.vectors)
+        and np.array_equal(optimized.cost, ref.cost)
+        and np.array_equal(optimized.valid, ref.valid)
+    ):
+        raise AssertionError("block matcher diverged from reference output")
+    repeats, number = _repeats(quick, 20, 3)
+    return BenchResult(
+        name="block_motion_field",
+        hot_path="repro.vision.block_motion.block_motion_field",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "blocks": int(wl.points.shape[0]),
+            "boxes": len(wl.detections),
+            "block_size": wl.params.block_size,
+            "frame_gap": wl.frame_gap,
+        },
+        optimized=time_callable(
+            lambda: block_motion_field(
+                wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+            ),
+            repeats, number,
+        ),
+        reference=time_callable(
+            lambda: reference.block_motion_field_reference(
+                wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+            ),
+            repeats, number,
+        ),
+        notes=(
+            "one (N,B,B) clip-gather + row SAD reduction per candidate vs. "
+            "frozen per-block per-candidate Python scan"
+        ),
+    )
+
+
+def bench_mve_track(quick: bool) -> BenchResult:
+    """One full MVE tracker step, with the LK tier's step as the yardstick.
+
+    The optimised arm seeds an :class:`MVETracker` from the bench clip's
+    annotated detections and propagates one gap-2 step over cache-shared
+    pyramids — seeding is free at this tier (no feature extraction), so
+    the whole lifecycle slice is the per-step cost.  There is no frozen
+    ``reference`` arm (the tier is new); instead ``extra`` records the LK
+    tier's step — ``track_features`` over the same frame pair, the
+    ``lk_track`` bench's exact computation — and the resulting
+    ``speedup_vs_lk_track``, which CI floors at 5x.
+    """
+    wl = workloads.make_mve_workload()
+    lk = workloads.make_lk_workload()
+    levels = wl.params.pyramid_levels
+
+    def provider(index: int) -> np.ndarray:
+        return wl.frame_a if index == 0 else wl.frame_b
+
+    cache = PyramidCache(capacity=4)
+    cache.get(0, levels, provider)  # primed: timed steps never rebuild
+    cache.get(wl.frame_gap, levels, provider)
+    config = MVETrackerConfig(block=wl.params)
+
+    def mve_step():
+        tracker = MVETracker(
+            provider,
+            wl.frame_width,
+            wl.frame_height,
+            config,
+            pyramid_cache=cache,
+        )
+        tracker.initialize(0, wl.detections)
+        return tracker.track_to(wl.frame_gap)
+
+    step = mve_step()
+    if not step.detections or step.num_features == 0:
+        raise AssertionError("MVE bench step tracked nothing")
+
+    def lk_step():
+        return track_features(lk.pyramid_a, lk.pyramid_b, lk.points, lk.params)
+
+    repeats, number = _repeats(quick, 15)
+    optimized = time_callable(mve_step, repeats, 1)
+    lk_measure = time_callable(lk_step, repeats, 1)
+    return BenchResult(
+        name="mve_track",
+        hot_path="repro.tracking.mve.MVETracker.track_to",
+        workload={
+            "scenario": workloads.SCENARIO,
+            "seed": workloads.SEED,
+            "boxes": len(wl.detections),
+            "blocks": int(wl.points.shape[0]),
+            "lk_points": int(lk.points.shape[0]),
+            "frame_gap": wl.frame_gap,
+        },
+        optimized=optimized,
+        notes=(
+            "seed + one gap-2 propagation of the block-motion tier; extra "
+            "records the LK tier's step (lk_track's computation) on the "
+            "same frame pair"
+        ),
+        extra={
+            "lk_track_per_call_s": lk_measure.per_call_s,
+            "speedup_vs_lk_track": lk_measure.per_call_s / optimized.per_call_s,
+        },
     )
 
 
@@ -481,6 +596,8 @@ def bench_serve_scheduler(quick: bool) -> BenchResult:
 BENCHES = {
     "gft_nms": bench_gft_nms,
     "lk_track": bench_lk_track,
+    "block_motion_field": bench_block_motion_field,
+    "mve_track": bench_mve_track,
     "gaussian_blur": bench_gaussian_blur,
     "pyramid_build": bench_pyramid_build,
     "shi_tomasi_response": bench_shi_tomasi_response,

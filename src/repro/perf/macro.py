@@ -54,7 +54,7 @@ def new_macro_document(quick: bool, benches: list[dict] | None = None) -> dict:
         "benches": benches or [],
     }
 
-_QUICK_METHODS = ("adavp", "mpdt-320", "mpdt-608", "no-tracking-320")
+_QUICK_METHODS = ("adavp", "mve", "mpdt-320", "mpdt-608", "no-tracking-320")
 
 
 def _workload(quick: bool):

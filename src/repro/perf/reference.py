@@ -288,6 +288,98 @@ def track_features_reference(
     return FlowResult(points=new_points, status=status, residual=residual)
 
 
+def block_motion_field_reference(
+    prev_frame: np.ndarray | FramePyramid,
+    next_frame: np.ndarray | FramePyramid,
+    points: np.ndarray,
+    params: "BlockMotionParams | None" = None,
+) -> "BlockMotionField":
+    """The naive block matcher: one Python loop per block per candidate.
+
+    Semantics are identical to :func:`repro.vision.block_motion
+    .block_motion_field` — clamped-border patch gather, row-major
+    ``(dy, dx)`` candidate scan with strict ``<`` tie-breaking, per-level
+    prediction doubling — evaluated one block at a time.  Each block's SAD
+    reduces a C-contiguous ``(B, B)`` patch exactly as the vectorised
+    version reduces its row of the ``(N, B*B)`` candidate matrix, so the
+    two are bit-identical, which the bench harness asserts before timing.
+    """
+    from repro.vision.block_motion import BlockMotionField, BlockMotionParams
+
+    params = params or BlockMotionParams()
+    if not isinstance(prev_frame, FramePyramid):
+        prev_frame = FramePyramid(prev_frame, params.pyramid_levels)
+    if not isinstance(next_frame, FramePyramid):
+        next_frame = FramePyramid(next_frame, params.pyramid_levels)
+    if prev_frame.shape != next_frame.shape:
+        raise ValueError("frame shapes differ")
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    n = points.shape[0]
+    if n == 0:
+        return BlockMotionField(
+            points=np.zeros((0, 2)),
+            vectors=np.zeros((0, 2)),
+            cost=np.zeros(0),
+            valid=np.zeros(0, dtype=bool),
+        )
+
+    block = params.block_size
+    offsets = np.arange(block, dtype=np.intp) - block // 2
+    levels = min(prev_frame.levels, next_frame.levels, params.pyramid_levels)
+
+    def gather(image: np.ndarray, cx: int, cy: int) -> np.ndarray:
+        height, width = image.shape
+        rows = np.clip(cy + offsets, 0, height - 1)
+        cols = np.clip(cx + offsets, 0, width - 1)
+        return image[rows[:, None], cols[None, :]]
+
+    displacement = np.zeros((n, 2), dtype=np.intp)
+    sad = np.zeros(n, dtype=np.float64)
+    for level in range(levels - 1, -1, -1):
+        prev_level = prev_frame.images[level]
+        next_level = next_frame.images[level]
+        scale = 0.5**level
+        radius = params.coarse_radius if level == levels - 1 else params.refine_radius
+        for i in range(n):
+            cx = int(np.rint(points[i, 0] * scale))
+            cy = int(np.rint(points[i, 1] * scale))
+            patch = gather(prev_level, cx, cy)
+            best_sad = np.inf
+            best_dx = int(displacement[i, 0])
+            best_dy = int(displacement[i, 1])
+            for dy in range(-radius, radius + 1):
+                for dx in range(-radius, radius + 1):
+                    candidate = gather(
+                        next_level,
+                        cx + int(displacement[i, 0]) + dx,
+                        cy + int(displacement[i, 1]) + dy,
+                    )
+                    value = float(np.abs(candidate - patch).sum())
+                    if value < best_sad:
+                        best_sad = value
+                        best_dx = int(displacement[i, 0]) + dx
+                        best_dy = int(displacement[i, 1]) + dy
+            displacement[i, 0] = best_dx
+            displacement[i, 1] = best_dy
+            sad[i] = best_sad
+        if level > 0:
+            displacement = displacement * 2
+
+    vectors = displacement.astype(np.float64)
+    cost = sad / float(block * block)
+    height, width = prev_frame.shape
+    target_x = points[:, 0] + vectors[:, 0]
+    target_y = points[:, 1] + vectors[:, 1]
+    valid = (
+        (cost <= params.max_match_cost)
+        & (target_x >= 0)
+        & (target_x <= width - 1)
+        & (target_y >= 0)
+        & (target_y <= height - 1)
+    )
+    return BlockMotionField(points=points, vectors=vectors, cost=cost, valid=valid)
+
+
 def warp_modulation_reference(
     seed: int, base_period: float, age: float
 ) -> tuple[float, float]:

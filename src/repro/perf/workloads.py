@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.detection.detector import Detection
+from repro.vision.block_motion import BlockMotionParams, box_block_centers
 from repro.vision.features import shi_tomasi_response, good_features_to_track
 from repro.vision.image import image_gradients
 from repro.vision.optical_flow import FramePyramid, LKParams
@@ -54,6 +56,28 @@ class LKWorkload:
     frame_b: np.ndarray
     points: np.ndarray
     params: LKParams
+
+
+@dataclass(frozen=True)
+class MVEWorkload:
+    """Prebuilt pyramids + the block grid under frame 0's annotated boxes.
+
+    Mirrors :class:`LKWorkload` — same clip, same gap-2 frame pair — so the
+    ``mve_track``-vs-``lk_track`` speedup compares the two tracker tiers on
+    identical content.
+    """
+
+    pyramid_a: FramePyramid
+    pyramid_b: FramePyramid
+    frame_a: np.ndarray
+    frame_b: np.ndarray
+    points: np.ndarray
+    owners: np.ndarray
+    detections: tuple[Detection, ...]
+    params: BlockMotionParams
+    frame_gap: int
+    frame_width: int
+    frame_height: int
 
 
 @dataclass(frozen=True)
@@ -131,6 +155,42 @@ def make_nms_workload(
         shape=frame.shape,
         min_distance=min_distance,
         max_corners=max_corners,
+    )
+
+
+def make_mve_workload(
+    frame_gap: int = 2,
+    params: BlockMotionParams | None = None,
+) -> MVEWorkload:
+    """Block-match the grid under frame 0's annotated boxes across the
+    same gap-2 frame pair the LK bench tracks."""
+    params = params or BlockMotionParams()
+    clip = bench_clip()
+    frame_a = np.asarray(clip.frame(0), dtype=np.float64)
+    frame_b = np.asarray(clip.frame(frame_gap), dtype=np.float64)
+    annotation = clip.annotation(0)
+    detections = tuple(
+        Detection(obj.label, obj.box, 0.9) for obj in annotation.objects
+    )
+    width = clip.config.frame_width
+    height = clip.config.frame_height
+    points, owners = box_block_centers(
+        [det.box for det in detections], width, height, params.block_size
+    )
+    if points.shape[0] == 0:
+        raise RuntimeError("MVE workload found no annotation blocks")
+    return MVEWorkload(
+        pyramid_a=FramePyramid(frame_a, params.pyramid_levels),
+        pyramid_b=FramePyramid(frame_b, params.pyramid_levels),
+        frame_a=frame_a,
+        frame_b=frame_b,
+        points=points,
+        owners=owners,
+        detections=detections,
+        params=params,
+        frame_gap=frame_gap,
+        frame_width=width,
+        frame_height=height,
     )
 
 

@@ -49,8 +49,11 @@ class StreamReport:
     switches: int
     degraded_episodes: int
     degraded_frames: int
+    mve_frames: int
+    tier_transitions: int
     cpu_busy_s: float
     final_setting: str
+    final_tier: str
     digest: str
 
     def to_dict(self) -> dict:
@@ -66,8 +69,11 @@ class StreamReport:
             "switches": self.switches,
             "degraded_episodes": self.degraded_episodes,
             "degraded_frames": self.degraded_frames,
+            "mve_frames": self.mve_frames,
+            "tier_transitions": self.tier_transitions,
             "cpu_busy_s": self.cpu_busy_s,
             "final_setting": self.final_setting,
+            "final_tier": self.final_tier,
             "digest": self.digest,
         }
 
@@ -125,8 +131,10 @@ class FleetReport:
     final_depth: int
     degrade_events: int
     recover_events: int
+    tier_transitions: int
     buffer_dropped: int
     tracked_frames: int
+    mve_frames: int
     events_fired: int
     end_time_s: float
     classes: dict[str, ClassReport]
@@ -155,8 +163,10 @@ class FleetReport:
             "final_depth": self.final_depth,
             "degrade_events": self.degrade_events,
             "recover_events": self.recover_events,
+            "tier_transitions": self.tier_transitions,
             "buffer_dropped": self.buffer_dropped,
             "tracked_frames": self.tracked_frames,
+            "mve_frames": self.mve_frames,
             "events_fired": self.events_fired,
             "end_time_s": self.end_time_s,
             "served_per_sim_second": self.served_per_sim_second,
@@ -185,7 +195,8 @@ class FleetReport:
             f"{self.dropped} dropped ({self.batches} batches, "
             f"{self.served_per_sim_second:.1f} served/s)",
             f"queue:    peak depth {self.peak_depth}, "
-            f"{self.degrade_events} degrade / {self.recover_events} recover events",
+            f"{self.degrade_events} degrade / {self.recover_events} recover events "
+            f"({self.tier_transitions} stream tier transitions)",
             f"tracking: {self.tracked_frames} frames tracked, "
             f"{self.buffer_dropped} buffer drops",
         ]

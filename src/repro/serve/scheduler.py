@@ -16,13 +16,17 @@ bit-identically.  Three event kinds drive everything:
 - **batch completion**: deliver each result to its stream (which tracks
   its backlog and adapts its setting), then dispatch again.
 
-Backpressure is watermark-driven: queue depth ≥ ``degrade_high`` drops
-``best_effort`` streams to keyframe-only detection, depth ≥
-``degrade_realtime_high`` degrades the whole fleet, and depth ≤
-``recover_low`` restores everyone.  Degrading shrinks demand at the
-source (fewer submissions), the shed/reject path bounds the queue, and
-nothing ever blocks — the overloaded fleet slows down per-stream instead
-of stalling collectively.
+Backpressure is watermark-driven and walks the tracker tier ladder
+(``lk`` → ``mve`` → ``keyframe``): queue depth ≥ ``degrade_mve_high``
+drops ``best_effort`` streams to the MVE middle tier (fewer detections,
+cheap block-motion tracking of the whole backlog), depth ≥
+``degrade_high`` pushes them down to keyframe-only, depth ≥
+``degrade_realtime_high`` degrades the whole fleet (``realtime`` to MVE,
+``best_effort`` to keyframe-only), and depth ≤ ``recover_low`` restores
+everyone to full LK tracking.  Degrading shrinks demand at the source
+(fewer submissions), the shed/reject path bounds the queue, and nothing
+ever blocks — the overloaded fleet slows down per-stream instead of
+stalling collectively.
 
 Observability: per-stream and fleet metrics flow through ``repro.obs``
 (queue depth gauge, admission-wait histograms per class, drop counters
@@ -49,11 +53,24 @@ from repro.serve.admission import (
 from repro.serve.detector import BatchDetectorModel, SharedDetectorModel
 from repro.serve.report import ClassReport, FleetReport, StreamReport, nearest_rank
 from repro.serve.streams import SimStream, StreamConfig
+from repro.tracking.tracker import TIER_KEYFRAME, TIER_LK, TIER_MVE
 
 # Overload levels, in escalation order.
 _LEVEL_NORMAL = 0
-_LEVEL_BEST_EFFORT_DEGRADED = 1
-_LEVEL_ALL_DEGRADED = 2
+_LEVEL_BEST_EFFORT_MVE = 1
+_LEVEL_BEST_EFFORT_KEYFRAME = 2
+_LEVEL_ALL_DEGRADED = 3
+
+
+def _tier_for(level: int, qos: str) -> str:
+    """The tracker tier a stream of class ``qos`` runs at overload ``level``."""
+    if level == _LEVEL_NORMAL:
+        return TIER_LK
+    if level == _LEVEL_BEST_EFFORT_MVE:
+        return TIER_MVE if qos == QOS_BEST_EFFORT else TIER_LK
+    if level == _LEVEL_BEST_EFFORT_KEYFRAME:
+        return TIER_KEYFRAME if qos == QOS_BEST_EFFORT else TIER_LK
+    return TIER_KEYFRAME if qos == QOS_BEST_EFFORT else TIER_MVE
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,15 +81,16 @@ class ServeConfig:
     fleet*: a stream keeps at most one request in flight, so queue depth
     is bounded by ``min(queue_depth, num_streams)`` and fixed absolute
     watermarks would be unreachable for small fleets and toothless for
-    big ones.  :meth:`resolve_watermarks` turns ``None`` into 3/4
-    (degrade best-effort), 19/20 (degrade everyone), and 3/16 (recover)
-    of that effective bound.
+    big ones.  :meth:`resolve_watermarks` turns ``None`` into 1/2
+    (best-effort to MVE), 3/4 (best-effort to keyframe-only), 19/20
+    (degrade everyone), and 3/16 (recover) of that effective bound.
     """
 
     duration_s: float = 10.0
     max_batch: int = 8
     queue_depth: int = 256
     # Backpressure watermarks on total queue depth; None = fleet-scaled.
+    degrade_mve_high: int | None = None
     degrade_high: int | None = None
     degrade_realtime_high: int | None = None
     recover_low: int | None = None
@@ -107,8 +125,9 @@ class ServeConfig:
     def slo_for(self, qos: str) -> float:
         return self.slo_realtime_s if qos == QOS_REALTIME else self.slo_best_effort_s
 
-    def resolve_watermarks(self, num_streams: int) -> tuple[int, int, int]:
-        """``(degrade_high, degrade_realtime_high, recover_low)`` for a fleet."""
+    def resolve_watermarks(self, num_streams: int) -> tuple[int, int, int, int]:
+        """``(degrade_mve_high, degrade_high, degrade_realtime_high,
+        recover_low)`` for a fleet of ``num_streams``."""
         cap = min(self.queue_depth, max(num_streams, 1))
         high = self.degrade_high
         if high is None:
@@ -119,14 +138,18 @@ class ServeConfig:
         low = self.recover_low
         if low is None:
             low = max(2, min(high - 1, (3 * cap) // 16))
-        if not 0 < low < high <= realtime_high:
+        mve_high = self.degrade_mve_high
+        if mve_high is None:
+            mve_high = max(low + 1, min(high, cap // 2))
+        if not 0 < low < mve_high <= high <= realtime_high:
             raise ValueError(
-                "watermarks must satisfy 0 < recover_low < degrade_high "
-                f"<= degrade_realtime_high, got ({low}, {high}, {realtime_high})"
+                "watermarks must satisfy 0 < recover_low < degrade_mve_high "
+                "<= degrade_high <= degrade_realtime_high, got "
+                f"({low}, {mve_high}, {high}, {realtime_high})"
             )
         if realtime_high > self.queue_depth:
             raise ValueError("degrade_realtime_high cannot exceed queue_depth")
-        return high, realtime_high, low
+        return mve_high, high, realtime_high, low
 
 
 class ServeScheduler:
@@ -154,6 +177,7 @@ class ServeScheduler:
             cfg.stream_id: SimStream(cfg) for cfg in streams
         }
         (
+            self.degrade_mve_high,
             self.degrade_high,
             self.degrade_realtime_high,
             self.recover_low,
@@ -173,6 +197,7 @@ class ServeScheduler:
         self._peak_depth = 0
         self._degrade_events = 0
         self._recover_events = 0
+        self._tier_transitions = 0
         self._events_fired = 0
 
     # -- event actions ---------------------------------------------------------
@@ -270,7 +295,9 @@ class ServeScheduler:
         if depth >= self.degrade_realtime_high:
             desired = _LEVEL_ALL_DEGRADED
         elif depth >= self.degrade_high:
-            desired = max(level, _LEVEL_BEST_EFFORT_DEGRADED)
+            desired = max(level, _LEVEL_BEST_EFFORT_KEYFRAME)
+        elif depth >= self.degrade_mve_high:
+            desired = max(level, _LEVEL_BEST_EFFORT_MVE)
         elif depth <= self.recover_low:
             desired = _LEVEL_NORMAL
         else:
@@ -283,21 +310,17 @@ class ServeScheduler:
         if desired > level:
             self._degrade_events += 1
             self.obs.counter("serve.degrade_events").inc()
-            for stream in self.streams.values():
-                if desired == _LEVEL_ALL_DEGRADED or (
-                    stream.config.qos == QOS_BEST_EFFORT
-                ):
-                    stream.degrade(now)
         else:
             self._recover_events += 1
             self.obs.counter("serve.recover_events").inc()
-            if desired == _LEVEL_NORMAL:
-                for stream in self.streams.values():
-                    stream.recover(now)
-            else:  # _LEVEL_ALL_DEGRADED -> _LEVEL_BEST_EFFORT_DEGRADED
-                for stream in self.streams.values():
-                    if stream.config.qos == QOS_REALTIME:
-                        stream.recover(now)
+        # Every stream moves to the tier its QoS class runs at this level;
+        # set_tier is a no-op for streams already there.
+        for stream in self.streams.values():
+            if stream.set_tier(_tier_for(desired, stream.config.qos), now):
+                self._tier_transitions += 1
+                self.obs.counter(
+                    "serve.tier_transitions", tier=stream.tier
+                ).inc()
 
     # -- run -------------------------------------------------------------------
 
@@ -343,8 +366,11 @@ class ServeScheduler:
                 switches=stream.switches,
                 degraded_episodes=stream.degraded_episodes,
                 degraded_frames=stream.degraded_frames,
+                mve_frames=stream.mve_frames,
+                tier_transitions=stream.tier_transitions,
                 cpu_busy_s=stream.cpu_busy_s,
                 final_setting=stream.setting,
+                final_tier=stream.tier,
                 digest=stream.digest(),
             )
             for stream in sorted(
@@ -364,11 +390,15 @@ class ServeScheduler:
             final_depth=self.queue.depth(),
             degrade_events=self._degrade_events,
             recover_events=self._recover_events,
+            tier_transitions=self._tier_transitions,
             buffer_dropped=sum(
                 stream.buffer_dropped for stream in self.streams.values()
             ),
             tracked_frames=sum(
                 stream.tracked_frames for stream in self.streams.values()
+            ),
+            mve_frames=sum(
+                stream.mve_frames for stream in self.streams.values()
             ),
             events_fired=self._events_fired,
             end_time_s=self.events.now,

@@ -18,11 +18,14 @@ seeded parameter draw.  Both are pure functions of ``(config,
 frame_index)`` — independent of call order — which is what makes a
 500-stream run bit-identically replayable.
 
-Backpressure: a degraded stream drops to *keyframe-only* detection — it
-submits only every ``keyframe_interval``-th frame and rides its tracker
-in between — which cuts its detector demand by ~an order of magnitude
-without stalling it entirely.  Degrade/recover transitions are driven by
-the scheduler's queue watermarks, not by the stream itself.
+Backpressure: a stream degrades down the tracker *tier ladder*
+(``lk`` → ``mve`` → ``keyframe``).  The ``mve`` middle rung submits only
+every ``mve_interval``-th frame and rides the O(boxes) block-motion
+tracker (:class:`~repro.tracking.mve.MVETracker` pricing) over its whole
+backlog; the ``keyframe`` bottom rung submits every
+``keyframe_interval``-th frame and runs no tracker at all — and charges
+nothing, because untracked frames cost nothing.  Tier transitions are
+driven by the scheduler's queue watermarks, not by the stream itself.
 
 Every externally visible event (submit, result, drop, degrade, recover)
 feeds a rolling sha256, so each stream ends a run with an event digest;
@@ -47,7 +50,16 @@ from repro.serve.admission import (
     DetectionRequest,
 )
 from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
-from repro.tracking.tracker import TrackerLatencyModel
+from repro.tracking.tracker import (
+    TIER_KEYFRAME,
+    TIER_LK,
+    TIER_MVE,
+    TRACKER_TIERS,
+    TrackerLatencyModel,
+)
+
+# Degradation order: each backpressure rung moves one step right.
+_TIER_LADDER = (TIER_LK, TIER_MVE, TIER_KEYFRAME)
 from repro.video.library import make_scenario
 
 
@@ -63,8 +75,10 @@ class StreamConfig:
     initial_setting: str | int = 512
     adaptive: bool = True
     buffer_capacity: int = 16
-    # Degraded mode submits one detection per this many frames.
+    # Keyframe-only mode submits one detection per this many frames.
     keyframe_interval: int = 8
+    # The MVE middle tier submits one detection per this many frames.
+    mve_interval: int = 4
     # Virtual time at which the stream joins the fleet (mid-run bursts).
     start_at: float = 0.0
 
@@ -79,6 +93,8 @@ class StreamConfig:
             raise ValueError("buffer_capacity must be >= 1")
         if self.keyframe_interval < 2:
             raise ValueError("keyframe_interval must be >= 2")
+        if self.mve_interval < 2:
+            raise ValueError("mve_interval must be >= 2")
         if self.start_at < 0:
             raise ValueError("start_at must be non-negative")
 
@@ -166,7 +182,7 @@ class SimStream:
             initial_fraction=min(1.0, (1.0 / config.fps) / per_frame)
         )
         self.buffer: deque[int] = deque()
-        self.degraded = False
+        self.tier = TIER_LK
         self.in_flight: int | None = None  # frame index of the outstanding request
         self.last_result_frame: int | None = None
 
@@ -179,8 +195,15 @@ class SimStream:
         self.switches = 0
         self.degraded_episodes = 0
         self.degraded_frames = 0
+        self.mve_frames = 0
+        self.tier_transitions = 0
         self.cpu_busy_s = 0.0
         self._hasher = hashlib.sha256()
+
+    @property
+    def degraded(self) -> bool:
+        """True on any tier below full LK tracking."""
+        return self.tier != TIER_LK
 
     # -- event log -------------------------------------------------------------
 
@@ -197,15 +220,19 @@ class SimStream:
         """Should this frame become a detector request right now?"""
         if self.in_flight is not None:
             return False
-        if self.degraded:
+        if self.tier == TIER_KEYFRAME:
             return frame_index % self.config.keyframe_interval == 0
+        if self.tier == TIER_MVE:
+            return frame_index % self.config.mve_interval == 0
         return True
 
     def on_frame(self, frame_index: int) -> bool:
         """Buffer an arriving frame; True if a detection should be submitted."""
         self.frames_arrived += 1
-        if self.degraded:
+        if self.tier != TIER_LK:
             self.degraded_frames += 1
+        if self.tier == TIER_MVE:
+            self.mve_frames += 1
         self.buffer.append(frame_index)
         while len(self.buffer) > self.config.buffer_capacity:
             self.buffer.popleft()
@@ -248,26 +275,43 @@ class SimStream:
         detected one are superseded by the fresh boxes, and the tracker
         catches up to the newest buffered frame (skipping per plan), so
         the whole buffer is consumed.
+
+        The tier ladder changes what the cycle does between keyframes:
+        the ``lk`` tier seeds features and tracks the selector's plan;
+        the ``mve`` tier tracks *every* behind frame — block matching is
+        cheap enough that skipping buys nothing — at the per-block MVE
+        price, with no feature-extraction seed and no overlay render
+        (degraded streams run headless); the ``keyframe`` tier runs no
+        tracker and charges nothing (the historical bug billed LK
+        feature extraction + per-frame costs for frames that were never
+        tracked).  The selector's EMA state is only advanced on the
+        ``lk`` tier, so a recovered stream resumes planning from where
+        full tracking left off.
         """
         self.served += 1
         self.in_flight = None
         behind = [index for index in self.buffer if index > frame_index]
         self.buffer.clear()
-        planned = self.selector.plan(len(behind))
-        tracked_indices: list[int] = []
-        if planned > 0 and behind:
-            tracked_indices = select_spread_indices(
-                behind[0], behind[-1] + 1, planned
-            )
-        tracked = len(tracked_indices)
-        self.selector.record_cycle(tracked, len(behind))
-        self.tracked_frames += tracked
         num_objects = self.workload.num_objects(frame_index)
+        tracked_indices: list[int] = []
         cpu = 0.0
-        if tracked:
-            cpu = self.latency.feature_extraction + sum(
-                self.latency.per_frame_cost(num_objects) for _ in tracked_indices
-            )
+        if self.tier == TIER_LK:
+            planned = self.selector.plan(len(behind))
+            if planned > 0 and behind:
+                tracked_indices = select_spread_indices(
+                    behind[0], behind[-1] + 1, planned
+                )
+            self.selector.record_cycle(len(tracked_indices), len(behind))
+            if tracked_indices:
+                cpu = self.latency.seed_cost(TIER_LK) + sum(
+                    self.latency.per_frame_cost(num_objects, TIER_LK)
+                    for _ in tracked_indices
+                )
+        elif self.tier == TIER_MVE:
+            tracked_indices = behind
+            cpu = len(behind) * self.latency.track_latency(num_objects, TIER_MVE)
+        tracked = len(tracked_indices)
+        self.tracked_frames += tracked
         self.cpu_busy_s += cpu
         velocity: float | None = None
         if tracked_indices:
@@ -291,19 +335,28 @@ class SimStream:
 
     # -- backpressure ----------------------------------------------------------
 
-    def degrade(self, now: float) -> bool:
-        """Enter keyframe-only mode; True if this was a transition."""
-        if self.degraded:
+    def set_tier(self, tier: str, now: float) -> bool:
+        """Move to an explicit tracker tier; True if this was a transition."""
+        if tier not in TRACKER_TIERS:
+            raise ValueError(
+                f"unknown tracker tier {tier!r}; known: {', '.join(TRACKER_TIERS)}"
+            )
+        if tier == self.tier:
             return False
-        self.degraded = True
-        self.degraded_episodes += 1
-        self._log("degrade", self.frames_arrived, now)
+        if self.tier == TIER_LK:
+            self.degraded_episodes += 1
+        self.tier = tier
+        self.tier_transitions += 1
+        self._log("tier", self.frames_arrived, now, tier)
         return True
 
-    def recover(self, now: float) -> bool:
-        """Leave keyframe-only mode; True if this was a transition."""
-        if not self.degraded:
+    def degrade(self, now: float) -> bool:
+        """Step one rung down the tier ladder; True if this was a transition."""
+        rung = _TIER_LADDER.index(self.tier)
+        if rung == len(_TIER_LADDER) - 1:
             return False
-        self.degraded = False
-        self._log("recover", self.frames_arrived, now)
-        return True
+        return self.set_tier(_TIER_LADDER[rung + 1], now)
+
+    def recover(self, now: float) -> bool:
+        """Return to the full LK tier; True if this was a transition."""
+        return self.set_tier(TIER_LK, now)

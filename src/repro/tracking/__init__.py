@@ -5,20 +5,33 @@ Lucas-Kanade propagation, per-object motion vectors, tracking-frame
 selection, and the Eq. 3 content-change velocity metric.
 """
 
+from repro.tracking.base import BoxTrackerBase
 from repro.tracking.tracker import (
     ObjectTracker,
     TrackerConfig,
     TrackerLatencyModel,
     TrackStep,
+    TIER_KEYFRAME,
+    TIER_LK,
+    TIER_MVE,
+    TRACKER_TIERS,
 )
+from repro.tracking.mve import MVETracker, MVETrackerConfig
 from repro.tracking.frame_selection import TrackingFrameSelector, select_spread_indices
 from repro.tracking.motion import MotionVelocityEstimator, motion_velocity
 
 __all__ = [
+    "BoxTrackerBase",
     "ObjectTracker",
     "TrackerConfig",
     "TrackerLatencyModel",
     "TrackStep",
+    "MVETracker",
+    "MVETrackerConfig",
+    "TIER_KEYFRAME",
+    "TIER_LK",
+    "TIER_MVE",
+    "TRACKER_TIERS",
     "TrackingFrameSelector",
     "select_spread_indices",
     "MotionVelocityEstimator",

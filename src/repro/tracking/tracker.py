@@ -20,19 +20,27 @@ The :class:`TrackerLatencyModel` carries the paper's measured costs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.geometry import Box, clip_box
+from repro.geometry import Box
 from repro.detection.detector import Detection
+from repro.tracking.base import BoxTrackerBase, FrameProvider
 from repro.tracking.motion import motion_velocity
 from repro.vision.fast import fast_corners
 from repro.vision.features import good_features_to_track
 from repro.vision.optical_flow import FramePyramid, LKParams, track_features
 from repro.vision.pyramid_cache import PyramidCache
 
-FrameProvider = Callable[[int], np.ndarray]
+# Tracker cost/fidelity tiers, cheapest last.  ``lk`` is the paper's
+# pyramidal Lucas-Kanade tracker, ``mve`` the block-motion extrapolation
+# tracker (DESIGN.md §12), and ``keyframe`` the serve layer's
+# detect-keyframes-only overload mode, which runs no tracker at all.
+TIER_LK = "lk"
+TIER_MVE = "mve"
+TIER_KEYFRAME = "keyframe"
+TRACKER_TIERS = (TIER_LK, TIER_MVE, TIER_KEYFRAME)
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,16 +112,65 @@ class TrackerLatencyModel:
     track_base: float = 0.0065
     track_per_object: float = 0.0016
     overlay: float = 0.050
+    # MVE tier profile: block matching has a small fixed cost plus a
+    # per-block cost (49+9+9 SAD candidates over three pyramid levels),
+    # and needs no feature extraction at seed time.  ``mve_blocks_per_object``
+    # is the proxy used when only an object count is known (serve layer,
+    # admission planning); the MPDT simulator charges measured block
+    # counts instead.
+    mve_track_base: float = 0.0018
+    mve_track_per_block: float = 0.00004
+    mve_blocks_per_object: float = 9.0
 
-    def track_latency(self, num_objects: int) -> float:
-        """Tracking cost for one frame with ``num_objects`` objects."""
+    def track_latency(self, num_objects: int, tier: str = TIER_LK) -> float:
+        """Tracking cost for one frame with ``num_objects`` objects.
+
+        ``tier`` selects the tracker profile: ``lk`` (per-object LK cost,
+        Table II), ``mve`` (block costs via the per-object block proxy),
+        or ``keyframe`` (no tracker runs, so the cost is exactly zero —
+        charging anything here double-bills frames that are simply
+        dropped between keyframes).
+        """
         if num_objects < 0:
             raise ValueError("num_objects must be non-negative")
-        return self.track_base + self.track_per_object * num_objects
+        if tier == TIER_LK:
+            return self.track_base + self.track_per_object * num_objects
+        if tier == TIER_MVE:
+            return self.mve_track_latency(
+                round(self.mve_blocks_per_object * num_objects)
+            )
+        if tier == TIER_KEYFRAME:
+            return 0.0
+        raise ValueError(f"unknown tracker tier {tier!r}")
 
-    def per_frame_cost(self, num_objects: int) -> float:
-        """Full per-tracked-frame cost (tracking + overlay)."""
-        return self.track_latency(num_objects) + self.overlay
+    def mve_track_latency(self, num_blocks: int) -> float:
+        """MVE tracking cost for one frame matching ``num_blocks`` blocks."""
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        return self.mve_track_base + self.mve_track_per_block * num_blocks
+
+    def seed_cost(self, tier: str = TIER_LK) -> float:
+        """One-off cost of seeding a tracker from a detector result.
+
+        LK pays good-feature extraction; MVE seeds from the boxes alone
+        and keyframe-only mode never seeds a tracker.
+        """
+        if tier == TIER_LK:
+            return self.feature_extraction
+        if tier in (TIER_MVE, TIER_KEYFRAME):
+            return 0.0
+        raise ValueError(f"unknown tracker tier {tier!r}")
+
+    def per_frame_cost(self, num_objects: int, tier: str = TIER_LK) -> float:
+        """Full per-tracked-frame cost (tracking + overlay) for one tier.
+
+        Keyframe-only mode tracks nothing and renders nothing between
+        keyframes, so its per-frame cost is zero rather than an LK bill
+        for work that never happens.
+        """
+        if tier == TIER_KEYFRAME:
+            return 0.0
+        return self.track_latency(num_objects, tier) + self.overlay
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,15 +184,7 @@ class TrackStep:
     frame_gap: int
 
 
-@dataclass
-class _TrackedObject:
-    label: str
-    confidence: float
-    box: Box
-    alive: bool = True
-
-
-class ObjectTracker:
+class ObjectTracker(BoxTrackerBase):
     """Tracks the objects of one detected frame through later frames.
 
     One instance handles one detection cycle: ``initialize`` with the
@@ -153,9 +202,7 @@ class ObjectTracker:
         seed: int = 0,
         pyramid_cache: PyramidCache | None = None,
     ) -> None:
-        self._frames = frame_provider
-        self.frame_width = frame_width
-        self.frame_height = frame_height
+        super().__init__(frame_provider, frame_width, frame_height)
         self.config = config or TrackerConfig()
         # Optional clip-scoped cache shared across tracker generations: the
         # pipeline re-seeds a fresh ObjectTracker every detection cycle, and
@@ -164,25 +211,15 @@ class ObjectTracker:
         # the same clip (keys are frame indices).
         self._pyramid_cache = pyramid_cache
         self._rng = np.random.default_rng(np.random.SeedSequence(entropy=seed))
-        self._objects: list[_TrackedObject] = []
         self._points = np.zeros((0, 2), dtype=np.float64)
         self._owners = np.zeros(0, dtype=np.intp)
         self._pyramid: FramePyramid | None = None
-        self._frame_index: int | None = None
 
     # -- setup -------------------------------------------------------------------
 
     @property
-    def current_frame_index(self) -> int | None:
-        return self._frame_index
-
-    @property
     def num_features(self) -> int:
         return int(self._points.shape[0])
-
-    @property
-    def num_objects(self) -> int:
-        return sum(1 for obj in self._objects if obj.alive)
 
     def _extract_box_features(
         self, frame: np.ndarray, box: Box
@@ -226,19 +263,16 @@ class ObjectTracker:
         points: list[np.ndarray] = []
         owners: list[np.ndarray] = []
         for det in detections:
-            box = clip_box(det.box, self.frame_width, self.frame_height)
-            if box.width < self.config.min_box_dim or box.height < self.config.min_box_dim:
+            obj = self._admit_detection(det, self.config.min_box_dim)
+            if obj is None:
                 continue
-            index = len(self._objects)
-            self._objects.append(
-                _TrackedObject(label=det.label, confidence=det.confidence, box=box)
-            )
-            corners = self._extract_box_features(frame, box)
+            index = len(self._objects) - 1
+            corners = self._extract_box_features(frame, obj.box)
             if corners.shape[0] == 0:
                 # Texture-poor object: fall back to its centre point so it
                 # still has a motion estimate (the paper guarantees one
                 # feature per box).
-                corners = np.asarray([box.center], dtype=np.float64)
+                corners = np.asarray([obj.box.center], dtype=np.float64)
             points.append(corners)
             owners.append(np.full(corners.shape[0], index, dtype=np.intp))
         if points:
@@ -249,19 +283,6 @@ class ObjectTracker:
             self._owners = np.zeros(0, dtype=np.intp)
 
     # -- tracking ----------------------------------------------------------------
-
-    def _current_detections(self) -> tuple[Detection, ...]:
-        output = []
-        for obj in self._objects:
-            if not obj.alive:
-                continue
-            box = clip_box(obj.box, self.frame_width, self.frame_height)
-            if box.area <= 0:
-                continue
-            output.append(
-                Detection(label=obj.label, box=box, confidence=obj.confidence)
-            )
-        return tuple(output)
 
     def track_to(self, frame_index: int) -> TrackStep:
         """Propagate all objects to ``frame_index`` (must be ahead of current)."""
@@ -346,19 +367,13 @@ class ObjectTracker:
                 if obj.alive:
                     obj.box = obj.box.shifted(dx, dy)
 
-    def _kill_departed_objects(self) -> None:
+    def _kill_departed_objects(self) -> bool:
         """Drop objects that have mostly left the frame, and their features."""
-        changed = False
-        for index, obj in enumerate(self._objects):
-            if not obj.alive:
-                continue
-            clipped = clip_box(obj.box, self.frame_width, self.frame_height)
-            if obj.box.area <= 0 or clipped.area / obj.box.area < 0.2:
-                obj.alive = False
-                changed = True
+        changed = super()._kill_departed_objects()
         if changed and self._points.shape[0] > 0:
             alive = np.asarray(
                 [self._objects[owner].alive for owner in self._owners], dtype=bool
             )
             self._points = self._points[alive]
             self._owners = self._owners[alive]
+        return changed

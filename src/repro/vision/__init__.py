@@ -31,6 +31,12 @@ from repro.vision.features import (
     suppress_min_distance,
 )
 from repro.vision.fast import fast_corners, fast_response
+from repro.vision.block_motion import (
+    BlockMotionField,
+    BlockMotionParams,
+    block_motion_field,
+    box_block_centers,
+)
 from repro.vision.optical_flow import FlowResult, FramePyramid, LKParams, track_features
 from repro.vision.pyramid_cache import PyramidCache
 
@@ -47,6 +53,10 @@ __all__ = [
     "shi_tomasi_response",
     "fast_corners",
     "fast_response",
+    "BlockMotionField",
+    "BlockMotionParams",
+    "block_motion_field",
+    "box_block_centers",
     "FlowResult",
     "FramePyramid",
     "LKParams",

@@ -33,6 +33,9 @@ GOLDEN_DIGESTS = {
     "adavp": "763e4f7679945975b4df6e868c411618b6469b6c41191c119bd10f412d7541e1",
     "mpdt-512": "b60224fef111bb4858976586985661d500d2cff566e7a6ccef254fefa80e537f",
     "marlin-512": "5aa657d54f7ffeac8077d00fb1fe486ab30e66617fd423fe9fd8f83b3caaf969",
+    # The block-motion fast tier (added with the MVE tracker PR, pinned
+    # at introduction): AdaVP adaptation over MVETracker propagation.
+    "mve": "748b0df617de74c7e6e630bc6df1142bedaf6c0642d0e62b292572a49bec0853",
 }
 
 # Spot-check values so a digest mismatch points somewhere readable.

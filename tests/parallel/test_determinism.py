@@ -13,7 +13,7 @@ import pytest
 from repro.experiments.fig6_overall import run as run_fig6
 from repro.experiments.workloads import quick_suite
 
-_REDUCED_METHODS = ("adavp", "mpdt-320", "no-tracking-416")
+_REDUCED_METHODS = ("adavp", "mve", "mpdt-320", "no-tracking-416")
 
 
 @pytest.fixture(scope="module")

@@ -49,6 +49,8 @@ class TestRequiredSpeedups:
         names = [
             "gft_nms",
             "lk_track",
+            "block_motion_field",
+            "mve_track",
             "gaussian_blur",
             "pyramid_build",
             "shi_tomasi_response",
@@ -62,6 +64,18 @@ class TestRequiredSpeedups:
 
     def test_lk_speedup(self, results):
         assert results["lk_track"].speedup_vs_reference >= 1.2
+
+    def test_block_motion_field_speedup(self, results):
+        # Full-run figure ~17x vs the frozen per-candidate Python scan.
+        assert results["block_motion_field"].speedup_vs_reference >= 5.0
+
+    def test_mve_track_beats_lk_track(self, results):
+        """The tier contract: the MVE fast tier must be an order cheaper
+        than pyramidal LK on the same frame pair.  Full-run figure ~7.7x;
+        the CI floor is 5x, this sits just below."""
+        extra = results["mve_track"].extra
+        assert extra["speedup_vs_lk_track"] >= 4.0
+        assert extra["lk_track_per_call_s"] > 0
 
     def test_render_frame_speedup(self, results):
         assert results["render_frame"].speedup_vs_reference >= 1.6

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.perf import reference, workloads
+from repro.vision.block_motion import BlockMotionParams, block_motion_field
 from repro.vision.features import suppress_min_distance
 from repro.vision.optical_flow import LKParams, track_features
 
@@ -65,6 +66,43 @@ class TestLKEquivalence:
         empty = np.zeros((0, 2), dtype=np.float64)
         result = track_features(wl.pyramid_a, wl.pyramid_b, empty, wl.params)
         assert result.points.shape == (0, 2)
+
+
+class TestBlockMotionEquivalence:
+    """The vectorised coarse-to-fine block matcher against the frozen
+    per-block per-candidate Python scan, on the MVE bench workload and
+    off-nominal variants (single-level search, tighter refine radius,
+    larger blocks, wider frame gap)."""
+
+    @pytest.mark.parametrize(
+        "frame_gap, params",
+        [
+            (2, None),  # the bench workload itself
+            (1, None),
+            (4, None),  # larger motion -> more clipped candidates
+            (2, BlockMotionParams(pyramid_levels=1)),
+            (2, BlockMotionParams(refine_radius=1)),
+            (2, BlockMotionParams(block_size=24, coarse_radius=2)),
+        ],
+    )
+    def test_bitwise_identical_field(self, frame_gap, params):
+        wl = workloads.make_mve_workload(frame_gap=frame_gap, params=params)
+        optimized = block_motion_field(
+            wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+        )
+        expected = reference.block_motion_field_reference(
+            wl.pyramid_a, wl.pyramid_b, wl.points, wl.params
+        )
+        assert np.array_equal(optimized.vectors, expected.vectors)
+        assert np.array_equal(optimized.cost, expected.cost)
+        assert np.array_equal(optimized.valid, expected.valid)
+
+    def test_no_blocks(self):
+        wl = workloads.make_mve_workload()
+        empty = np.zeros((0, 2), dtype=np.float64)
+        result = block_motion_field(wl.pyramid_a, wl.pyramid_b, empty, wl.params)
+        assert result.vectors.shape == (0, 2)
+        assert result.valid.shape == (0,)
 
 
 class TestRenderEquivalence:

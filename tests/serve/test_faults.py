@@ -73,6 +73,65 @@ class TestLatencySpikes:
         assert a.overload_transitions == b.overload_transitions
 
 
+class TestMVEDegradeRung:
+    """The tier ladder's middle rung under a latency-spike fault.
+
+    Watermarks are spread so escalation must pass *through* the MVE rung
+    (best-effort to block-motion tracking) before keyframe-only, and at
+    the top level realtime streams land on MVE, never keyframe.  The
+    whole trajectory is pinned by digest: crossing the new rung is part
+    of the deterministic-replay contract.
+    """
+
+    _CONFIG = dict(
+        duration_s=12.0,
+        degrade_mve_high=6,
+        degrade_high=10,
+        degrade_realtime_high=14,
+        recover_low=3,
+    )
+    _GOLDEN_DIGEST = (
+        "66cb7b31ceb48d891a7cb6c3e337f4affb0cab6b75ef39dd6045c1f8947e3585"
+    )
+
+    def _run(self):
+        return serve_fleet(
+            fleet_configs(16, seed=7),
+            ServeConfig(**self._CONFIG),
+            detector=_spiky(),
+        )
+
+    def test_escalation_passes_through_mve_rung(self):
+        report = self._run()
+        levels = [level for _, level in report.overload_transitions]
+        # First response to overload is the MVE rung, not keyframe-only.
+        assert levels[0] == 1
+        assert levels[-1] == 0  # fully recovered by end of run
+        assert report.mve_frames > 0
+        assert report.tier_transitions > 0
+        # Realtime streams never fall below MVE: all their degraded
+        # frames are MVE frames (keyframe-only is best-effort's floor).
+        realtime = [s for s in report.streams if s.qos == "realtime"]
+        assert sum(s.mve_frames for s in realtime) > 0
+        for stream in realtime:
+            assert stream.mve_frames == stream.degraded_frames
+        # Best-effort streams go deeper: some keyframe-only frames.
+        best_effort = [s for s in report.streams if s.qos == "best_effort"]
+        assert sum(
+            s.degraded_frames - s.mve_frames for s in best_effort
+        ) > 0
+        assert all(s.final_tier == "lk" for s in report.streams)
+        assert report.submitted == report.served + report.dropped
+        assert report.final_depth == 0
+
+    def test_mve_rung_crossing_is_digest_pinned(self):
+        report = self._run()
+        assert report.digest() == self._GOLDEN_DIGEST, (
+            "MVE degrade-rung fault trajectory changed — if intentional, "
+            "update _GOLDEN_DIGEST"
+        )
+
+
 class TestStreamBurst:
     def _burst_fleet(self, base=8, burst=24, burst_at=4.0):
         """A calm base fleet joined mid-run by a thundering burst."""

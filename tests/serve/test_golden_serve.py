@@ -18,8 +18,8 @@ _STREAMS = 64
 _CONFIG = dict(duration_s=6.0, warmup_s=2.0)
 
 GOLDEN_DIGESTS = {
-    7: "6da75fcbeb55b752863d54a0b1435fed6fa386e8187902a58f9bdf191140ce00",
-    21: "b3229cd9a3582775e1b653845d24e1d5a68f2ba0bb0ff64226eeb37dfc63e867",
+    7: "f56c2bcc55d0f72c6189851eaf927c3e4a4cdfb043c89473b656ca5ce2143a69",
+    21: "7b0617dc69339d7c64afc50eb64150ae0d92050085c10f797b68f46723e5e1d4",
 }
 
 

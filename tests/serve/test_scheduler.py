@@ -107,20 +107,23 @@ class TestBackpressure:
 
     def test_watermarks_scale_with_fleet(self):
         config = ServeConfig()
-        high_small, rt_small, low_small = config.resolve_watermarks(16)
-        high_big, rt_big, low_big = config.resolve_watermarks(200)
+        mve_small, high_small, rt_small, low_small = config.resolve_watermarks(16)
+        mve_big, high_big, rt_big, low_big = config.resolve_watermarks(200)
         assert high_small < high_big
-        assert 0 < low_small < high_small <= rt_small <= config.queue_depth
-        assert 0 < low_big < high_big <= rt_big <= config.queue_depth
+        assert 0 < low_small < mve_small <= high_small <= rt_small <= config.queue_depth
+        assert 0 < low_big < mve_big <= high_big <= rt_big <= config.queue_depth
         # Watermarks never exceed the hard queue bound even for huge fleets.
-        _, rt_huge, _ = config.resolve_watermarks(10_000)
+        _, _, rt_huge, _ = config.resolve_watermarks(10_000)
         assert rt_huge <= config.queue_depth
 
     def test_explicit_watermarks_win(self):
         config = ServeConfig(
-            degrade_high=5, degrade_realtime_high=6, recover_low=2
+            degrade_mve_high=4,
+            degrade_high=5,
+            degrade_realtime_high=6,
+            recover_low=2,
         )
-        assert config.resolve_watermarks(100) == (5, 6, 2)
+        assert config.resolve_watermarks(100) == (4, 5, 6, 2)
 
     def test_bad_watermarks_rejected(self):
         with pytest.raises(ValueError):
@@ -151,6 +154,7 @@ class TestObsReconciliation:
         assert total("serve.dropped") == report.dropped
         assert total("serve.degrade_events") == report.degrade_events
         assert total("serve.recover_events") == report.recover_events
+        assert total("serve.tier_transitions") == report.tier_transitions
 
     def test_null_telemetry_changes_nothing(self):
         """Observability off and on produce bit-identical reports."""

@@ -1,10 +1,11 @@
 """Unit tests for the simulated stream: workload purity, buffering,
-keyframe-only degradation, and the detect→track→adapt cycle."""
+the tracker tier ladder, and the detect→track→adapt cycle."""
 
 import pytest
 
 from repro.detection.profiles import FRAME_SIZES
 from repro.serve.streams import SimStream, StreamConfig, StreamWorkload
+from repro.tracking.tracker import TIER_KEYFRAME, TIER_LK, TIER_MVE
 
 
 def _config(**kwargs) -> StreamConfig:
@@ -57,20 +58,40 @@ class TestSimStream:
         stream.on_submitted(0, 0.0)
         assert stream.on_frame(1) is False
 
-    def test_degraded_stream_submits_keyframes_only(self):
+    def test_mve_tier_submits_every_mve_interval(self):
+        stream = SimStream(_config(mve_interval=4))
+        stream.set_tier(TIER_MVE, 0.0)
+        wanted = [i for i in range(16) if stream.on_frame(i)]
+        assert wanted == [0, 4, 8, 12]
+        assert stream.mve_frames == 16
+        assert stream.degraded_frames == 16
+
+    def test_keyframe_tier_submits_keyframes_only(self):
         stream = SimStream(_config(keyframe_interval=8))
-        stream.degrade(0.0)
+        stream.set_tier(TIER_KEYFRAME, 0.0)
         wanted = [i for i in range(32) if stream.on_frame(i)]
         assert wanted == [0, 8, 16, 24]
         assert stream.degraded_frames == 32
+        assert stream.mve_frames == 0
 
-    def test_degrade_recover_transitions(self):
+    def test_degrade_walks_ladder_and_recover_restores_lk(self):
         stream = SimStream(_config())
+        assert stream.tier == TIER_LK
         assert stream.degrade(1.0) is True
-        assert stream.degrade(2.0) is False  # already degraded
-        assert stream.recover(3.0) is True
-        assert stream.recover(4.0) is False
+        assert stream.tier == TIER_MVE
+        assert stream.degrade(2.0) is True
+        assert stream.tier == TIER_KEYFRAME
+        assert stream.degrade(3.0) is False  # already at the bottom rung
+        assert stream.recover(4.0) is True
+        assert stream.tier == TIER_LK
+        assert stream.recover(5.0) is False
+        # One excursion below lk = one degraded episode, three transitions.
         assert stream.degraded_episodes == 1
+        assert stream.tier_transitions == 3
+
+    def test_set_tier_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SimStream(_config()).set_tier("warp", 0.0)
 
     def test_result_cycle_tracks_backlog_and_adapts(self):
         stream = SimStream(_config())
@@ -119,6 +140,54 @@ class TestSimStream:
         b.on_frame(0)
         b.on_submitted(0, 0.0)
         assert a.digest() == b.digest()
+
+
+def _backlogged_stream(tier: str) -> SimStream:
+    """A stream on ``tier`` with an 11-frame tracking backlog pending."""
+    stream = SimStream(_config())
+    stream.set_tier(tier, 0.0)
+    stream.on_frame(0)
+    stream.on_submitted(0, 0.0)
+    for i in range(1, 12):
+        stream.on_frame(i)
+    return stream
+
+
+class TestTierCostAccounting:
+    """Each rung of the ladder bills exactly the work it actually runs.
+
+    Regression for the historical bug where degraded streams were still
+    charged LK feature extraction + per-frame costs for frames that were
+    never tracked."""
+
+    def test_keyframe_tier_tracks_and_charges_nothing(self):
+        stream = _backlogged_stream(TIER_KEYFRAME)
+        outcome = stream.on_result(0, 0.4)
+        assert outcome["tracked"] == 0
+        assert outcome["cpu_s"] == 0.0
+        assert outcome["velocity"] is None
+        assert stream.cpu_busy_s == 0.0
+        assert list(stream.buffer) == []  # backlog still superseded
+
+    def test_mve_tier_tracks_whole_backlog_without_seed_cost(self):
+        stream = _backlogged_stream(TIER_MVE)
+        outcome = stream.on_result(0, 0.4)
+        assert outcome["tracked"] == 11
+        assert outcome["velocity"] is not None
+        num_objects = stream.workload.num_objects(0)
+        expected = 11 * stream.latency.track_latency(num_objects, TIER_MVE)
+        assert outcome["cpu_s"] == pytest.approx(expected)
+        assert stream.cpu_busy_s == pytest.approx(expected)
+
+    def test_lk_tier_cycle_costs_more_than_mve(self):
+        lk = _backlogged_stream(TIER_LK)
+        mve = _backlogged_stream(TIER_MVE)
+        lk_cpu = lk.on_result(0, 0.4)["cpu_s"]
+        mve_cpu = mve.on_result(0, 0.4)["cpu_s"]
+        # MVE tracks *more* frames (the whole backlog) yet costs less,
+        # because block matching skips feature seeding and is O(boxes).
+        assert lk.tracked_frames <= mve.tracked_frames
+        assert 0.0 < mve_cpu < lk_cpu
 
 
 class TestStreamConfigValidation:

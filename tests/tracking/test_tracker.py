@@ -5,7 +5,14 @@ import pytest
 
 from repro.detection.detector import Detection
 from repro.geometry import Box, iou
-from repro.tracking.tracker import ObjectTracker, TrackerConfig, TrackerLatencyModel
+from repro.tracking.tracker import (
+    TIER_KEYFRAME,
+    TIER_LK,
+    TIER_MVE,
+    ObjectTracker,
+    TrackerConfig,
+    TrackerLatencyModel,
+)
 from repro.video.dataset import make_clip
 
 
@@ -46,6 +53,64 @@ class TestLatencyModel:
     def test_negative_objects_rejected(self):
         with pytest.raises(ValueError):
             TrackerLatencyModel().track_latency(-1)
+
+
+class TestLatencyTiers:
+    """Cost accounting across the lk / mve / keyframe tier ladder."""
+
+    def test_lk_tier_is_the_default_and_unchanged(self):
+        model = TrackerLatencyModel()
+        assert model.track_latency(4) == model.track_latency(4, TIER_LK)
+        assert model.per_frame_cost(4) == model.per_frame_cost(4, TIER_LK)
+        assert model.seed_cost() == model.feature_extraction
+
+    def test_mve_tier_charges_blocks(self):
+        model = TrackerLatencyModel()
+        assert model.mve_track_latency(0) == pytest.approx(model.mve_track_base)
+        assert model.mve_track_latency(100) == pytest.approx(
+            model.mve_track_base + 100 * model.mve_track_per_block
+        )
+        # The object-count proxy routes through the same per-block cost.
+        expected_blocks = round(model.mve_blocks_per_object * 4)
+        assert model.track_latency(4, TIER_MVE) == pytest.approx(
+            model.mve_track_latency(expected_blocks)
+        )
+        assert model.per_frame_cost(4, TIER_MVE) == pytest.approx(
+            model.track_latency(4, TIER_MVE) + model.overlay
+        )
+        assert model.seed_cost(TIER_MVE) == 0.0
+
+    def test_mve_tier_cheaper_than_lk(self):
+        model = TrackerLatencyModel()
+        for num_objects in (0, 1, 4, 12):
+            assert model.track_latency(num_objects, TIER_MVE) < model.track_latency(
+                num_objects, TIER_LK
+            ) + model.feature_extraction
+        # Tracking-only cost (without overlay) is several times cheaper.
+        assert model.track_latency(8, TIER_LK) / model.track_latency(8, TIER_MVE) > 3
+
+    def test_keyframe_tier_charges_nothing(self):
+        """Keyframe-only mode runs no tracker: zero seed, zero per-frame.
+
+        Regression for the serve-layer bug where degraded streams were
+        billed LK feature extraction + per-frame costs for frames that
+        were never tracked.
+        """
+        model = TrackerLatencyModel()
+        assert model.track_latency(7, TIER_KEYFRAME) == 0.0
+        assert model.per_frame_cost(7, TIER_KEYFRAME) == 0.0
+        assert model.seed_cost(TIER_KEYFRAME) == 0.0
+
+    def test_unknown_tier_rejected(self):
+        model = TrackerLatencyModel()
+        with pytest.raises(ValueError):
+            model.track_latency(1, "warp")
+        with pytest.raises(ValueError):
+            model.seed_cost("warp")
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            TrackerLatencyModel().mve_track_latency(-1)
 
 
 class TestInitialization:
