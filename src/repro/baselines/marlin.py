@@ -98,7 +98,7 @@ class MarlinPipeline:
         )
         board = ResultBoard(clip.num_frames)
         activity = ActivityLog()
-        pyramid_cache = cfg.make_pyramid_cache()
+        pyramid_cache = cfg.make_pyramid_cache(clip=clip, obs=obs)
         cycles: list[CycleRecord] = []
 
         # Tracking stride so the tracker keeps camera pace on average:

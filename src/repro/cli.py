@@ -147,11 +147,15 @@ def _sweep_config(args: argparse.Namespace):
     Only built when a flag actually deviates from the defaults, so the
     ``config=None`` code paths (and their golden traces) stay untouched.
     """
-    if getattr(args, "frame_store_mb", None) is None:
+    frame_store_mb = getattr(args, "frame_store_mb", None)
+    artifact_store_mb = getattr(args, "artifact_store_mb", None)
+    if frame_store_mb is None and artifact_store_mb is None:
         return None
     from repro.core.config import PipelineConfig
 
-    return PipelineConfig(frame_store_mb=args.frame_store_mb)
+    return PipelineConfig(
+        frame_store_mb=frame_store_mb, artifact_store_mb=artifact_store_mb
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -277,6 +281,7 @@ def _cmd_macrobench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         quick=args.quick,
         frame_store_mb=args.frame_store_mb,
+        artifact_store_mb=args.artifact_store_mb,
     )
     # BENCH_macro.json also carries the serve ladder; replace only the
     # sweep bench (mirrors servebench's merge in the other direction).
@@ -292,6 +297,7 @@ def _cmd_macrobench(args: argparse.Namespace) -> int:
         doc,
         min_speedup=args.min_speedup,
         min_store_hit_ratio=args.min_store_hit_ratio,
+        min_artifact_hit_ratio=args.min_artifact_hit_ratio,
     )
     write_bench_json(doc, args.output)
     print(format_macro_table(doc))
@@ -435,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--frame-store-mb", type=int, default=None,
                          help="MiB budget for the shared frame store "
                               "(0 disables; default: leave store as-is)")
+    compare.add_argument("--artifact-store-mb", type=int, default=None,
+                         help="MiB budget for the shared pyramid/gradient "
+                              "artifact store (0 disables; default: leave "
+                              "store as-is)")
     compare.set_defaults(func=_cmd_compare)
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
@@ -445,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--frame-store-mb", type=int, default=None,
                      help="MiB budget for the shared frame store, figs 6-11 "
                           "(0 disables; default: leave store as-is)")
+    fig.add_argument("--artifact-store-mb", type=int, default=None,
+                     help="MiB budget for the shared pyramid/gradient "
+                          "artifact store, figs 6-11 (0 disables; default: "
+                          "leave store as-is)")
     fig.set_defaults(func=_cmd_fig)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -455,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--frame-store-mb", type=int, default=None,
                        help="MiB budget for the shared frame store "
                             "(0 disables; default: leave store as-is)")
+    table.add_argument("--artifact-store-mb", type=int, default=None,
+                       help="MiB budget for the shared pyramid/gradient "
+                            "artifact store (0 disables; default: leave "
+                            "store as-is)")
     table.set_defaults(func=_cmd_table)
 
     bench = sub.add_parser(
@@ -488,9 +506,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the parallel arm's frame-store hits "
                             "reach this fraction of the sequential arm's "
                             "(render-once parity; no cpu-count waiver)")
+    macro.add_argument("--min-artifact-hit-ratio", type=float, default=None,
+                       help="fail unless the parallel arm's artifact-store "
+                            "hits reach this fraction of the sequential "
+                            "arm's (build-once parity; no cpu-count waiver)")
     macro.add_argument("--frame-store-mb", type=int, default=128,
                        help="MiB budget for the shared frame store "
                             "(0 disables it for the whole macro-bench)")
+    macro.add_argument("--artifact-store-mb", type=int, default=384,
+                       help="MiB budget for the shared pyramid/gradient "
+                            "artifact store (0 disables it for the whole "
+                            "macro-bench); warmed artifacts are ~3x a raw "
+                            "frame, so size it above --frame-store-mb")
     macro.set_defaults(func=_cmd_macrobench)
 
     serve = sub.add_parser(

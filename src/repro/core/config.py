@@ -64,6 +64,13 @@ class PipelineConfig:
     # Rendering is deterministic, so the store never changes results —
     # only when pixels are computed (see repro.video.framestore).
     frame_store_mb: int | None = None
+    # Byte budget (in MiB) for the process-wide shared *artifact* store —
+    # the frame store one layer up: derived pyramids and warmed gradients
+    # are built once per sweep instead of once per method arm per worker.
+    # None = leave the store as-is; 0 = explicitly disable.  Pyramid
+    # construction is deterministic, so the store never changes results
+    # (see repro.vision.artifact_store).
+    artifact_store_mb: int | None = None
 
     def __post_init__(self) -> None:
         if self.tracker_tier not in (TIER_LK, TIER_MVE):
@@ -77,14 +84,36 @@ class PipelineConfig:
             raise ValueError("render_cache_size must be >= 1 when set")
         if self.frame_store_mb is not None and self.frame_store_mb < 0:
             raise ValueError("frame_store_mb must be non-negative when set")
+        if self.artifact_store_mb is not None and self.artifact_store_mb < 0:
+            raise ValueError("artifact_store_mb must be non-negative when set")
 
-    def make_pyramid_cache(self):
-        """A fresh per-run cache, or ``None`` when caching is disabled."""
+    def make_pyramid_cache(self, clip=None, obs=None):
+        """A fresh per-run cache, or ``None`` when caching is disabled.
+
+        Passing ``clip`` binds the cache to the clip's scene fingerprint,
+        enabling the artifact-store read-through (the cache still works
+        unbound — it just never touches a store).  ``obs`` attaches the
+        cache's hit/miss/eviction counters to that telemetry.
+        """
         from repro.vision.pyramid_cache import PyramidCache
 
         if self.pyramid_cache_capacity == 0:
             return None
-        return PyramidCache(capacity=self.pyramid_cache_capacity)
+        fingerprint = None
+        scene = getattr(clip, "scene", None)
+        # Exported clips carry a scene shim with no (config, seed)
+        # identity; their pyramids stay cache-local rather than risking a
+        # store key that is not content-addressed.
+        if scene is not None and hasattr(scene, "config") and hasattr(scene, "seed"):
+            from repro.video.framestore import scene_fingerprint
+
+            fingerprint = scene_fingerprint(scene)
+        cache = PyramidCache(
+            capacity=self.pyramid_cache_capacity, fingerprint=fingerprint
+        )
+        if obs is not None:
+            cache.set_obs(obs)
+        return cache
 
     def initial_tracking_fraction(self, fps: float) -> float:
         """First-cycle estimate of the trackable fraction ``p``.

@@ -113,7 +113,7 @@ class MPDTPipeline:
         )
         board = ResultBoard(clip.num_frames)
         activity = ActivityLog()
-        pyramid_cache = cfg.make_pyramid_cache()
+        pyramid_cache = cfg.make_pyramid_cache(clip=clip, obs=obs)
         cycles: list[CycleRecord] = []
         velocity_samples: list[tuple[int, float]] = []
         if cfg.fixed_tracking_fraction is not None:

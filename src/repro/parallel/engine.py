@@ -66,6 +66,7 @@ _worker_clips: OrderedDict[ClipSpec, VideoClip] = OrderedDict()
 # the last applied one makes "configure once per worker" hold without
 # any extra control channel.
 _worker_store_config: StoreConfig | None = None
+_worker_artifact_config: StoreConfig | None = None
 
 
 def _apply_store_config(cfg: StoreConfig | None) -> None:
@@ -90,6 +91,24 @@ def _apply_store_config(cfg: StoreConfig | None) -> None:
         framestore.install_store(None)
         framestore.configure_default(cfg.budget_bytes)
     _worker_store_config = cfg
+
+
+def _apply_artifact_config(cfg: StoreConfig | None) -> None:
+    """Same idempotent contract as :func:`_apply_store_config`, one layer
+    up: this worker's derived-artifact store (pyramids + gradients)."""
+    global _worker_artifact_config
+    if cfg == _worker_artifact_config:
+        return
+    from repro.vision import artifact_store
+
+    if cfg is None:
+        artifact_store.install_store(None)
+    elif cfg.mode == "shared":
+        artifact_store.install_store(artifact_store.attach_shared(cfg.token))
+    else:
+        artifact_store.install_store(None)
+        artifact_store.configure_default(cfg.budget_bytes)
+    _worker_artifact_config = cfg
 
 
 def _clip_for(spec: ClipSpec) -> VideoClip:
@@ -146,19 +165,27 @@ def run_shard(
 
             telemetry = Telemetry(InMemorySink())
         if clip is None:
-            # Pool path: this process is a worker.  Set up the store
-            # before building the clip so the renderer resolves it.
+            # Pool path: this process is a worker.  Set up the stores
+            # before building the clip so the renderer resolves them.
             _apply_store_config(spec.store)
+            _apply_artifact_config(spec.artifact_store)
             clip = _clip_for(spec.clip)
+        from repro.vision import pyramid_cache as pyramid_cache_mod
+        from repro.vision.artifact_store import default_store as default_artifact_store
+
         renderer = clip.renderer
         store = renderer.frame_store
+        artifact_store = default_artifact_store()
         hits0, misses0 = renderer.cache_hits, renderer.cache_misses
         # Lock-held snapshots at both ends: reading the bare counter
         # attributes tears when the threaded live executor shares the
         # process-wide store with this shard.
         stats0 = store.stats()
+        artifact_stats0 = artifact_store.stats()
+        pyramid0 = pyramid_cache_mod.counters_snapshot()
         renderer.set_obs(telemetry or NULL_TELEMETRY)
         store.set_obs(telemetry or NULL_TELEMETRY)
+        artifact_store.set_obs(telemetry or NULL_TELEMETRY)
         try:
             kwargs = dict(spec.method.kwargs)
             if telemetry is not None:
@@ -168,6 +195,7 @@ def run_shard(
         finally:
             renderer.set_obs(NULL_TELEMETRY)
             store.set_obs(NULL_TELEMETRY)
+            artifact_store.set_obs(NULL_TELEMETRY)
         accuracy, f1 = evaluate_run(
             run, clip, alpha=spec.alpha, iou_threshold=spec.iou_threshold
         )
@@ -188,6 +216,21 @@ def run_shard(
             result.store_evicted_bytes = (
                 stats1["evicted_bytes"] - stats0["evicted_bytes"]
             )
+        artifact_stats1 = artifact_store.stats()
+        result.artifact_hits = artifact_stats1["hits"] - artifact_stats0["hits"]
+        result.artifact_misses = artifact_stats1["misses"] - artifact_stats0["misses"]
+        result.artifact_lease_waits = (
+            artifact_stats1["lease_waits"] - artifact_stats0["lease_waits"]
+        )
+        if artifact_store.owner:
+            # Same owner-only rule as the frame store above.
+            result.artifact_evicted_bytes = (
+                artifact_stats1["evicted_bytes"] - artifact_stats0["evicted_bytes"]
+            )
+        pyramid1 = pyramid_cache_mod.counters_snapshot()
+        result.pyramid_hits = pyramid1["hits"] - pyramid0["hits"]
+        result.pyramid_misses = pyramid1["misses"] - pyramid0["misses"]
+        result.pyramid_evictions = pyramid1["evictions"] - pyramid0["evictions"]
         if spec.keep_run:
             result.run = run
         if telemetry is not None and obs is None:
@@ -226,9 +269,18 @@ class SweepResult:
     store_misses: int = 0
     store_evicted_bytes: int = 0
     store_lease_waits: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_evicted_bytes: int = 0
+    artifact_lease_waits: int = 0
+    pyramid_hits: int = 0
+    pyramid_misses: int = 0
+    pyramid_evictions: int = 0
     # Which store backed the sweep: "shared" (cross-process segments),
     # "private" (per-process LRU), or "none" (store unconfigured).
     store_mode: str = "none"
+    # Same trichotomy for the derived-artifact store.
+    artifact_store_mode: str = "none"
 
     @property
     def ok(self) -> bool:
@@ -253,7 +305,9 @@ class SweepResult:
             f" ({self.retried_shards} retried, {len(self.failures)} failed;"
             f" render cache {self.render_hits} hits / {self.render_misses} misses;"
             f" frame store [{self.store_mode}] {self.store_hits} hits /"
-            f" {self.store_misses} misses)"
+            f" {self.store_misses} misses;"
+            f" artifact store [{self.artifact_store_mode}] {self.artifact_hits}"
+            f" hits / {self.artifact_misses} misses)"
         ]
         for failure in self.failures:
             first_line = failure.error.strip().splitlines()[-1]
@@ -286,6 +340,8 @@ class SweepEngine:
         # macro-bench repeat starts with the same hot store a sequential
         # repeat enjoys from the process-wide private store).
         self._shared_store: Any = None
+        # Likewise for the cross-process derived-artifact store.
+        self._shared_artifact_store: Any = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -305,6 +361,9 @@ class SweepEngine:
             # mid-shard attach of a just-unlinked name would fail).
             self._shared_store.close()
             self._shared_store = None
+        if self._shared_artifact_store is not None:
+            self._shared_artifact_store.close()
+            self._shared_artifact_store = None
 
     def _ensure_shared_store(self, budget_bytes: int) -> Any:
         from repro.video.framestore import SharedFrameStore
@@ -314,6 +373,15 @@ class SweepEngine:
         elif self._shared_store.max_bytes != budget_bytes:
             self._shared_store.set_budget(budget_bytes)
         return self._shared_store
+
+    def _ensure_shared_artifact_store(self, budget_bytes: int) -> Any:
+        from repro.vision.artifact_store import create_shared
+
+        if self._shared_artifact_store is None:
+            self._shared_artifact_store = create_shared(budget_bytes)
+        elif self._shared_artifact_store.max_bytes != budget_bytes:
+            self._shared_artifact_store.set_budget(budget_bytes)
+        return self._shared_artifact_store
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -373,9 +441,13 @@ class SweepEngine:
 
         render_cache = config.render_cache_size if config is not None else None
         frame_store_mb = config.frame_store_mb if config is not None else None
+        artifact_store_mb = config.artifact_store_mb if config is not None else None
         clip_specs = [
             ClipSpec.from_clip(
-                clip, render_cache=render_cache, frame_store_mb=frame_store_mb
+                clip,
+                render_cache=render_cache,
+                frame_store_mb=frame_store_mb,
+                artifact_store_mb=artifact_store_mb,
             )
             for clip in suite
         ]
@@ -385,6 +457,8 @@ class SweepEngine:
         # what callers composing specs by hand rely on).
         store_mb = validate_store_budgets(clip_specs)
         store_cfg, store_mode = self._prepare_store(store_mb)
+        artifact_mb = validate_store_budgets(clip_specs, attr="artifact_store_mb")
+        artifact_cfg, artifact_mode = self._prepare_artifact_store(artifact_mb)
         collect_obs = obs is not None and self.jobs > 1
         shards = [
             ShardSpec(
@@ -399,6 +473,7 @@ class SweepEngine:
                 keep_run=keep_runs,
                 collect_obs=collect_obs,
                 store=store_cfg,
+                artifact_store=artifact_cfg,
             )
             for mi, name in enumerate(methods)
             for ci in range(len(clip_specs))
@@ -408,6 +483,11 @@ class SweepEngine:
         owner_evicted0 = (
             self._shared_store.stats()["evicted_bytes"]
             if self._shared_store is not None
+            else 0
+        )
+        owner_artifact_evicted0 = (
+            self._shared_artifact_store.stats()["evicted_bytes"]
+            if self._shared_artifact_store is not None
             else 0
         )
         if self.jobs == 1:
@@ -420,11 +500,17 @@ class SweepEngine:
         result.jobs = self.jobs
         result.total_shards = len(shards)
         result.store_mode = store_mode
+        result.artifact_store_mode = artifact_mode
         if self._shared_store is not None:
             # Evictions happen owner-side only; add the delta once here
             # rather than once per shard (see run_shard).
             result.store_evicted_bytes += (
                 self._shared_store.stats()["evicted_bytes"] - owner_evicted0
+            )
+        if self._shared_artifact_store is not None:
+            result.artifact_evicted_bytes += (
+                self._shared_artifact_store.stats()["evicted_bytes"]
+                - owner_artifact_evicted0
             )
         result.elapsed_s = time.perf_counter() - start
         self._record_engine_metrics(obs, result)
@@ -460,6 +546,32 @@ class SweepEngine:
             return None, "private"
         if shared_store_available():
             store = self._ensure_shared_store(budget)
+            return (
+                StoreConfig(mode="shared", budget_bytes=budget, token=store.token),
+                "shared",
+            )
+        return StoreConfig(mode="private", budget_bytes=budget), "private"
+
+    def _prepare_artifact_store(
+        self, store_mb: int | None
+    ) -> tuple[StoreConfig | None, str]:
+        """Same contract as :meth:`_prepare_store`, for the derived-artifact
+        store: budget the parent's process-wide store either way, and give
+        pool sweeps a worker-side config (shared segments where available,
+        per-worker private stores otherwise)."""
+        from repro.video.framestore import BYTES_PER_MB, shared_store_available
+        from repro.vision.artifact_store import configure_default
+
+        if store_mb is None:
+            return None, "none"
+        budget = store_mb * BYTES_PER_MB
+        configure_default(budget)
+        if budget == 0:
+            return None, "none"
+        if self.jobs == 1:
+            return None, "private"
+        if shared_store_available():
+            store = self._ensure_shared_artifact_store(budget)
             return (
                 StoreConfig(mode="shared", budget_bytes=budget, token=store.token),
                 "shared",
@@ -562,6 +674,8 @@ class SweepEngine:
                     # only read and insert, so this is the one place
                     # over-budget segments get unlinked.
                     self._shared_store.reclaim()
+                if self._shared_artifact_store is not None:
+                    self._shared_artifact_store.reclaim()
             else:
                 stalled_rebuilds += 1
                 if stalled_rebuilds > 5:
@@ -624,6 +738,13 @@ class SweepEngine:
                 out.store_misses += shard.store_misses
                 out.store_evicted_bytes += shard.store_evicted_bytes
                 out.store_lease_waits += shard.store_lease_waits
+                out.artifact_hits += shard.artifact_hits
+                out.artifact_misses += shard.artifact_misses
+                out.artifact_evicted_bytes += shard.artifact_evicted_bytes
+                out.artifact_lease_waits += shard.artifact_lease_waits
+                out.pyramid_hits += shard.pyramid_hits
+                out.pyramid_misses += shard.pyramid_misses
+                out.pyramid_evictions += shard.pyramid_evictions
                 if obs is not None and (shard.spans or shard.metrics):
                     for span in shard.spans:
                         obs.sink.record_span(span)
@@ -647,6 +768,13 @@ class SweepEngine:
         obs.counter("sweep.store_misses").inc(result.store_misses)
         obs.counter("sweep.store_evicted_bytes").inc(result.store_evicted_bytes)
         obs.counter("sweep.store_lease_waits").inc(result.store_lease_waits)
+        obs.counter("sweep.artifact_hits").inc(result.artifact_hits)
+        obs.counter("sweep.artifact_misses").inc(result.artifact_misses)
+        obs.counter("sweep.artifact_evicted_bytes").inc(result.artifact_evicted_bytes)
+        obs.counter("sweep.artifact_lease_waits").inc(result.artifact_lease_waits)
+        obs.counter("sweep.pyramid_hits").inc(result.pyramid_hits)
+        obs.counter("sweep.pyramid_misses").inc(result.pyramid_misses)
+        obs.counter("sweep.pyramid_evictions").inc(result.pyramid_evictions)
         obs.gauge("sweep.jobs").set(self.jobs)
 
 

@@ -38,6 +38,10 @@ class ClipSpec:
     # reconfigure the store, or a sweep mixing budgets would silently
     # evict mid-run (see ``validate_store_budgets``).
     frame_store_mb: int | None = None
+    # MiB budget for the worker's process-wide derived-artifact store
+    # (pyramids + gradients; see repro.vision.artifact_store).  Same
+    # declare-here / apply-once-per-worker contract as ``frame_store_mb``.
+    artifact_store_mb: int | None = None
 
     @classmethod
     def from_clip(
@@ -45,6 +49,7 @@ class ClipSpec:
         clip: VideoClip,
         render_cache: int | None = None,
         frame_store_mb: int | None = None,
+        artifact_store_mb: int | None = None,
     ) -> "ClipSpec":
         return cls(
             config=clip.config,
@@ -54,6 +59,7 @@ class ClipSpec:
                 render_cache if render_cache is not None else clip.renderer.cache_size
             ),
             frame_store_mb=frame_store_mb,
+            artifact_store_mb=artifact_store_mb,
         )
 
     def build(self) -> VideoClip:
@@ -62,19 +68,25 @@ class ClipSpec:
         )
 
 
-def validate_store_budgets(clip_specs: "list[ClipSpec]") -> int | None:
-    """The sweep's single frame-store budget (MiB), or ``None`` if unset.
+def validate_store_budgets(
+    clip_specs: "list[ClipSpec]", attr: str = "frame_store_mb"
+) -> int | None:
+    """The sweep's single store budget (MiB) for ``attr``, or ``None``.
 
-    A sweep must run under one budget: the store is process-wide, so a
-    clip carrying a different ``frame_store_mb`` would reconfigure (and
-    possibly evict) the store mid-sweep for every method sharing it.
-    Raises ``ValueError`` when the specs disagree; ``None`` entries mean
-    "no opinion" and never conflict.
+    A sweep must run under one budget: the stores are process-wide, so a
+    clip carrying a different ``frame_store_mb`` (or ``artifact_store_mb``)
+    would reconfigure (and possibly evict) the store mid-sweep for every
+    method sharing it.  Raises ``ValueError`` when the specs disagree;
+    ``None`` entries mean "no opinion" and never conflict.
     """
-    budgets = {s.frame_store_mb for s in clip_specs if s.frame_store_mb is not None}
+    budgets = {
+        budget
+        for budget in (getattr(s, attr) for s in clip_specs)
+        if budget is not None
+    }
     if len(budgets) > 1:
         raise ValueError(
-            "sweep clips declare conflicting frame_store_mb budgets "
+            f"sweep clips declare conflicting {attr} budgets "
             f"{sorted(budgets)}; a sweep runs under one store budget"
         )
     return budgets.pop() if budgets else None
@@ -141,6 +153,8 @@ class ShardSpec:
     attempt: int = 0
     # Worker store setup; identical across a sweep's shards (see StoreConfig).
     store: StoreConfig | None = None
+    # Worker derived-artifact store setup; same contract as ``store``.
+    artifact_store: StoreConfig | None = None
 
 
 @dataclass
@@ -169,6 +183,13 @@ class ShardResult:
     store_misses: int = 0
     store_evicted_bytes: int = 0
     store_lease_waits: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_evicted_bytes: int = 0
+    artifact_lease_waits: int = 0
+    pyramid_hits: int = 0
+    pyramid_misses: int = 0
+    pyramid_evictions: int = 0
     elapsed_s: float = 0.0
     worker_pid: int = 0
     attempt: int = 0

@@ -103,6 +103,7 @@ def run_macro_benchmark(
     repeats: int = 3,
     quick: bool = False,
     frame_store_mb: int = 128,
+    artifact_store_mb: int = 384,
 ) -> dict:
     """Time the reduced fig6 sweep sequentially and at ``jobs`` workers.
 
@@ -115,17 +116,59 @@ def run_macro_benchmark(
     run (0 disables it).  The default comfortably fits the full-grid
     suite (3 clips × 120 frames × 225 KiB ≈ 80 MiB) so the warm-up's
     store counters show each frame rendered at most once per worker.
+
+    ``artifact_store_mb`` budgets the shared derived-artifact store
+    (pyramids + gradients; 0 disables it).  Warmed artifacts are ~3x a
+    raw frame (level images + two gradient planes per level), so this
+    budget must out-size the frame store's for the sweep's working set
+    to stay resident under method-major order — undersizing shows up as
+    evicted_bytes churn and a cold store for every arm.  A third,
+    artifact-disabled
+    sequential arm is timed *before* the store is ever enabled — its
+    results double as the store-never-changes-results identity baseline,
+    and its best time yields ``artifact_store.enabled_speedup``: the
+    build-once-per-sweep win on the identical grid.  An untimed
+    artifact-disabled *parallel* pass supplies the ``frame_store``
+    block's parallel counters, so that gate compares the two engines at
+    equal frame demand.
     """
     if jobs < 2:
         raise ValueError("macro-bench needs jobs >= 2 (it compares against jobs=1)")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     methods, suite = _workload(quick)
-    config = PipelineConfig(frame_store_mb=frame_store_mb)
+    config_disabled = PipelineConfig(frame_store_mb=frame_store_mb, artifact_store_mb=0)
+    config = PipelineConfig(
+        frame_store_mb=frame_store_mb, artifact_store_mb=artifact_store_mb
+    )
 
     with SweepEngine(jobs=1) as seq_engine, SweepEngine(jobs=jobs) as par_engine:
+        # Artifact-disabled baseline first, not interleaved: enabling the
+        # store is sticky process-wide (budget 0 would drop its entries),
+        # so interleaving would cold-start the enabled arm every repeat.
+        disabled = seq_engine.run(methods, suite, config=config_disabled)
+        disabled_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            seq_engine.run(methods, suite, config=config_disabled)
+            disabled_times.append(time.perf_counter() - start)
+
+        # Artifact-disabled parallel pass: the frame-store hit-ratio gate
+        # compares parallel vs sequential *at equal frame demand*, and the
+        # artifact store changes that demand (a store-served pyramid never
+        # fetches its frame), so the frame_store block's parallel counters
+        # must come from a pass with the artifact store off.  The pool is
+        # fresh here, so worker renderer caches are cold and every frame
+        # access is real.
+        par_disabled = par_engine.run(methods, suite, config=config_disabled)
+
         sequential = seq_engine.run(methods, suite, config=config)
         parallel = par_engine.run(methods, suite, config=config)
+        # Store-never-changes-results: the artifact-enabled arm must be
+        # bit-identical to the disabled baseline, and both engine arms to
+        # each other.
+        _assert_identical(disabled, par_disabled)
+        _assert_identical(disabled, sequential)
         _assert_identical(sequential, parallel)
 
         seq_times, par_times = [], []
@@ -137,6 +180,7 @@ def run_macro_benchmark(
             par_engine.run(methods, suite, config=config)
             par_times.append(time.perf_counter() - start)
 
+    disabled_best = min(disabled_times)
     sequential_best = min(seq_times)
     parallel_best = min(par_times)
     bench = {
@@ -170,19 +214,54 @@ def run_macro_benchmark(
         # cross-process store is what makes that hold at jobs > 1.
         "frame_store": {
             "budget_mb": frame_store_mb,
+            # Both arms' counters come from artifact-*disabled* passes so
+            # they see equal frame demand (every pyramid rebuilt, every
+            # frame access real).  The artifact-enabled passes would
+            # distort both sides: the enabled sequential run inherits a
+            # warm frame store and warm renderer caches (counters read
+            # near-zero), and the enabled parallel run skips frame
+            # fetches for every store-served pyramid.
             "sequential": {
-                "store_mode": sequential.store_mode,
-                "hits": sequential.store_hits,
-                "misses": sequential.store_misses,
-                "evicted_bytes": sequential.store_evicted_bytes,
-                "lease_waits": sequential.store_lease_waits,
+                "store_mode": disabled.store_mode,
+                "hits": disabled.store_hits,
+                "misses": disabled.store_misses,
+                "evicted_bytes": disabled.store_evicted_bytes,
+                "lease_waits": disabled.store_lease_waits,
             },
             "parallel": {
-                "store_mode": parallel.store_mode,
-                "hits": parallel.store_hits,
-                "misses": parallel.store_misses,
-                "evicted_bytes": parallel.store_evicted_bytes,
-                "lease_waits": parallel.store_lease_waits,
+                "store_mode": par_disabled.store_mode,
+                "hits": par_disabled.store_hits,
+                "misses": par_disabled.store_misses,
+                "evicted_bytes": par_disabled.store_evicted_bytes,
+                "lease_waits": par_disabled.store_lease_waits,
+            },
+        },
+        # Derived-artifact store counters from the same warm-up pass, one
+        # layer up from the frame store: misses = pyramids actually built,
+        # hits = pyramids (and their warmed gradients) served back.  The
+        # third, store-disabled sequential arm gives the wall-clock win of
+        # building each pyramid once per sweep instead of once per arm.
+        "artifact_store": {
+            "budget_mb": artifact_store_mb,
+            "disabled_sequential_best_s": disabled_best,
+            "enabled_speedup": disabled_best / sequential_best,
+            "sequential": {
+                "store_mode": sequential.artifact_store_mode,
+                "hits": sequential.artifact_hits,
+                "misses": sequential.artifact_misses,
+                "evicted_bytes": sequential.artifact_evicted_bytes,
+                "lease_waits": sequential.artifact_lease_waits,
+                "pyramid_cache_hits": sequential.pyramid_hits,
+                "pyramid_cache_misses": sequential.pyramid_misses,
+            },
+            "parallel": {
+                "store_mode": parallel.artifact_store_mode,
+                "hits": parallel.artifact_hits,
+                "misses": parallel.artifact_misses,
+                "evicted_bytes": parallel.artifact_evicted_bytes,
+                "lease_waits": parallel.artifact_lease_waits,
+                "pyramid_cache_hits": parallel.pyramid_hits,
+                "pyramid_cache_misses": parallel.pyramid_misses,
             },
         },
     }
@@ -246,11 +325,57 @@ _REQUIRED_SERVE_RUNG_KEYS = (
 )
 
 
+def _validate_store_block(
+    bench: dict, store: dict, label: str, min_hit_ratio: float | None
+) -> None:
+    """Shared validation for the frame_store / artifact_store blocks.
+
+    ``min_hit_ratio`` is the reuse parity gate: the parallel arm's store
+    hits must reach that fraction of the sequential arm's.  One-sided —
+    the parallel arm legitimately hits *more* often, because worker-local
+    caches are colder than the parent's and fall through to the store.
+    Host-independent (cache behaviour, not wall clock), so no cpu_count
+    waiver.
+    """
+    for key in ("budget_mb", "sequential", "parallel"):
+        if key not in store:
+            raise ValueError(
+                f"bench {bench['name']!r} {label} missing key {key!r}"
+            )
+    for arm in ("sequential", "parallel"):
+        for key in ("hits", "misses", "evicted_bytes"):
+            if key not in store[arm]:
+                raise ValueError(
+                    f"bench {bench['name']!r} {label}.{arm} "
+                    f"missing key {key!r}"
+                )
+        # store_mode/lease_waits arrived with the cross-process store;
+        # pre-existing documents omit them.  When present, the mode must
+        # be one the engine can actually report.
+        mode = store[arm].get("store_mode")
+        if mode is not None and mode not in ("shared", "private", "none"):
+            raise ValueError(
+                f"bench {bench['name']!r} {label}.{arm} has unknown "
+                f"store_mode {mode!r}"
+            )
+    if min_hit_ratio is not None:
+        seq_hits = store["sequential"]["hits"]
+        par_hits = store["parallel"]["hits"]
+        required = min_hit_ratio * seq_hits
+        if par_hits < required:
+            raise ValueError(
+                f"bench {bench['name']!r} parallel-arm {label} hits {par_hits} "
+                f"below {min_hit_ratio:.0%} of sequential arm "
+                f"({seq_hits} hits; required >= {required:.0f})"
+            )
+
+
 def _validate_sweep_bench(
     bench: dict,
     doc: dict,
     min_speedup: float | None,
     min_store_hit_ratio: float | None = None,
+    min_artifact_hit_ratio: float | None = None,
 ) -> None:
     for key in _REQUIRED_SWEEP_BENCH_KEYS:
         if key not in bench:
@@ -263,44 +388,23 @@ def _validate_sweep_bench(
             raise ValueError(f"bench {bench['name']!r} has non-positive {key}")
     if bench["jobs"] < 2:
         raise ValueError(f"bench {bench['name']!r} has jobs < 2")
-    store = bench["frame_store"]
-    for key in ("budget_mb", "sequential", "parallel"):
-        if key not in store:
+    _validate_store_block(
+        bench, bench["frame_store"], "frame_store", min_store_hit_ratio
+    )
+    # The artifact_store block arrived after frame_store; documents written
+    # before it omit the block entirely — but asking for the gate against a
+    # document that never measured the store is an error, not a pass.
+    artifact = bench.get("artifact_store")
+    if artifact is None:
+        if min_artifact_hit_ratio is not None:
             raise ValueError(
-                f"bench {bench['name']!r} frame_store missing key {key!r}"
+                f"bench {bench['name']!r} has no artifact_store block but "
+                f"--min-artifact-hit-ratio was requested"
             )
-    for arm in ("sequential", "parallel"):
-        for key in ("hits", "misses", "evicted_bytes"):
-            if key not in store[arm]:
-                raise ValueError(
-                    f"bench {bench['name']!r} frame_store.{arm} "
-                    f"missing key {key!r}"
-                )
-        # store_mode/lease_waits arrived with the cross-process store;
-        # pre-existing documents omit them.  When present, the mode must
-        # be one the engine can actually report.
-        mode = store[arm].get("store_mode")
-        if mode is not None and mode not in ("shared", "private", "none"):
-            raise ValueError(
-                f"bench {bench['name']!r} frame_store.{arm} has unknown "
-                f"store_mode {mode!r}"
-            )
-    if min_store_hit_ratio is not None:
-        # The render-once parity gate: the pool must reuse (nearly) every
-        # frame the sequential arm reuses.  One-sided — the parallel arm
-        # legitimately hits *more* often, because worker-local renderer
-        # caches are colder than the parent's and fall through to the
-        # store.  Host-independent (cache behaviour, not wall clock), so
-        # no cpu_count waiver.
-        seq_hits = store["sequential"]["hits"]
-        par_hits = store["parallel"]["hits"]
-        required = min_store_hit_ratio * seq_hits
-        if par_hits < required:
-            raise ValueError(
-                f"bench {bench['name']!r} parallel-arm store hits {par_hits} "
-                f"below {min_store_hit_ratio:.0%} of sequential arm "
-                f"({seq_hits} hits; required >= {required:.0f})"
-            )
+    else:
+        _validate_store_block(
+            bench, artifact, "artifact_store", min_artifact_hit_ratio
+        )
     if min_speedup is not None:
         cpu_count = doc["host"]["cpu_count"]
         if isinstance(cpu_count, int) and cpu_count < 2:
@@ -377,6 +481,7 @@ def validate_macro_doc(
     min_speedup: float | None = None,
     min_sustained_streams: int | None = None,
     min_store_hit_ratio: float | None = None,
+    min_artifact_hit_ratio: float | None = None,
 ) -> list[str]:
     """Schema check for ``BENCH_macro.json``; returns the bench names.
 
@@ -388,6 +493,8 @@ def validate_macro_doc(
     ``min_store_hit_ratio`` is the render-once parity gate: the parallel
     arm's store hits must reach that fraction of the sequential arm's
     (no host waiver — cache reuse does not need a second core).
+    ``min_artifact_hit_ratio`` is the same one-sided parity gate for the
+    derived-artifact store (build each pyramid once per sweep).
     ``min_sustained_streams`` is the serve CI gate: the serve-smoke job
     asserts the scheduler still sustains a floor fleet size at the
     realtime p99 SLO (host-independent — the ladder runs in virtual time).
@@ -422,7 +529,9 @@ def validate_macro_doc(
         if bench["failures"] != 0:
             raise ValueError(f"bench {bench['name']!r} recorded failures")
         if kind == "sweep":
-            _validate_sweep_bench(bench, doc, min_speedup, min_store_hit_ratio)
+            _validate_sweep_bench(
+                bench, doc, min_speedup, min_store_hit_ratio, min_artifact_hit_ratio
+            )
         elif kind == "serve":
             _validate_serve_bench(bench, min_sustained_streams)
         else:
@@ -442,18 +551,25 @@ def _format_sweep_bench(bench: dict) -> list[str]:
         f"{bench['jobs']:>5d} {bench['sequential_best_s']:>8.2f}s "
         f"{bench['parallel_best_s']:>8.2f}s {bench['speedup']:>7.2f}x"
     ]
+    def _arm(label: str, arm: dict) -> str:
+        mode = arm.get("store_mode")
+        tag = f"[{mode}] " if mode else ""
+        return f"{label} {tag}{arm['hits']} hits / {arm['misses']} misses"
+
     store = bench.get("frame_store")
     if store:
-        seq, par = store["sequential"], store["parallel"]
-
-        def _arm(label: str, arm: dict) -> str:
-            mode = arm.get("store_mode")
-            tag = f"[{mode}] " if mode else ""
-            return f"{label} {tag}{arm['hits']} hits / {arm['misses']} misses"
-
         lines.append(
             f"  frame store ({store['budget_mb']} MiB): "
-            f"{_arm('seq', seq)}, {_arm('par', par)}"
+            f"{_arm('seq', store['sequential'])}, {_arm('par', store['parallel'])}"
+        )
+    artifact = bench.get("artifact_store")
+    if artifact:
+        speedup = artifact.get("enabled_speedup")
+        speedup_text = f", {speedup:.2f}x vs disabled" if speedup else ""
+        lines.append(
+            f"  artifact store ({artifact['budget_mb']} MiB): "
+            f"{_arm('seq', artifact['sequential'])}, "
+            f"{_arm('par', artifact['parallel'])}{speedup_text}"
         )
     return lines
 

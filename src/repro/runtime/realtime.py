@@ -145,7 +145,7 @@ class LiveExecutor:
         detection_ready = threading.Event()
         camera_done = threading.Event()
         detector_done = threading.Event()
-        pyramid_cache = cfg.make_pyramid_cache()
+        pyramid_cache = cfg.make_pyramid_cache(clip=clip, obs=obs)
 
         def now() -> float:
             return (time.monotonic() - start) / self.time_scale

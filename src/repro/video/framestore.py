@@ -81,6 +81,11 @@ class FrameStore:
     mutation would silently corrupt other methods' inputs.
     """
 
+    # Metric-name prefix for the obs counters.  Subclasses that recycle
+    # this LRU for other payloads (the derived-artifact store) override
+    # it so their traffic is attributed to the right subsystem.
+    _METRIC_PREFIX = "framestore"
+
     def __init__(self, max_bytes: int = 0) -> None:
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative (0 disables)")
@@ -108,9 +113,9 @@ class FrameStore:
         from repro.obs import NULL_TELEMETRY
 
         telemetry = obs if obs is not None else NULL_TELEMETRY
-        self._obs_hit = telemetry.counter("framestore.hit")
-        self._obs_miss = telemetry.counter("framestore.miss")
-        self._obs_evicted = telemetry.counter("framestore.evicted_bytes")
+        self._obs_hit = telemetry.counter(f"{self._METRIC_PREFIX}.hit")
+        self._obs_miss = telemetry.counter(f"{self._METRIC_PREFIX}.miss")
+        self._obs_evicted = telemetry.counter(f"{self._METRIC_PREFIX}.evicted_bytes")
 
     # -- core ----------------------------------------------------------------
 
@@ -401,6 +406,12 @@ class SharedFrameStore:
     up) or :meth:`attach` (workers: read and insert only).
     """
 
+    # Overridable for subclasses hosting other payloads (the derived-
+    # artifact store): segment names must not collide between two stores
+    # live in one sweep, and metrics must land on the right subsystem.
+    _METRIC_PREFIX = "framestore"
+    _SEGMENT_PREFIX = "reprofs"
+
     def __init__(self, token: StoreToken, owner: bool) -> None:
         if not shared_store_available():  # pragma: no cover - POSIX-only
             raise RuntimeError("shared frame store needs fcntl + shared_memory")
@@ -426,7 +437,7 @@ class SharedFrameStore:
         """Create the control segment + lock file and become the owner."""
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative (0 disables)")
-        name = f"reprofs_{os.getpid()}_{uuid.uuid4().hex[:8]}"
+        name = f"{cls._SEGMENT_PREFIX}_{os.getpid()}_{uuid.uuid4().hex[:8]}"
         control = _shm.SharedMemory(create=True, size=control_capacity, name=name)
         _untrack(control)
         with _attached_lock:
@@ -464,10 +475,10 @@ class SharedFrameStore:
         from repro.obs import NULL_TELEMETRY
 
         telemetry = obs if obs is not None else NULL_TELEMETRY
-        self._obs_hit = telemetry.counter("framestore.hit")
-        self._obs_miss = telemetry.counter("framestore.miss")
-        self._obs_evicted = telemetry.counter("framestore.evicted_bytes")
-        self._obs_lease_wait = telemetry.counter("framestore.lease_wait")
+        self._obs_hit = telemetry.counter(f"{self._METRIC_PREFIX}.hit")
+        self._obs_miss = telemetry.counter(f"{self._METRIC_PREFIX}.miss")
+        self._obs_evicted = telemetry.counter(f"{self._METRIC_PREFIX}.evicted_bytes")
+        self._obs_lease_wait = telemetry.counter(f"{self._METRIC_PREFIX}.lease_wait")
 
     # -- index plumbing (all under the cross-process lock) -------------------
 

@@ -39,6 +39,12 @@ from repro.vision.block_motion import (
 )
 from repro.vision.optical_flow import FlowResult, FramePyramid, LKParams, track_features
 from repro.vision.pyramid_cache import PyramidCache
+from repro.vision.artifact_store import (
+    ArtifactStore,
+    PyramidArtifact,
+    pack_artifact,
+    unpack_artifact,
+)
 
 __all__ = [
     "gaussian_blur",
@@ -62,4 +68,8 @@ __all__ = [
     "LKParams",
     "track_features",
     "PyramidCache",
+    "ArtifactStore",
+    "PyramidArtifact",
+    "pack_artifact",
+    "unpack_artifact",
 ]

@@ -88,9 +88,54 @@ class FramePyramid:
             self.images
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        images: "list[np.ndarray] | tuple[np.ndarray, ...]",
+        gradients: "tuple[tuple[np.ndarray, np.ndarray], ...] | None" = None,
+    ) -> "FramePyramid":
+        """Adopt prebuilt pyramid levels without rebuilding them.
+
+        ``images`` must be exactly what :func:`build_pyramid` would produce
+        (finest first); ``gradients``, when given, pre-fills the per-level
+        memo with ``(Ix, Iy)`` pairs.  This is the artifact-store read
+        path: a stored pyramid is reconstructed as views over shared bytes
+        instead of re-running blur/decimate and Scharr passes.
+        """
+        if not images:
+            raise ValueError("from_arrays needs at least one pyramid level")
+        pyramid = cls.__new__(cls)
+        pyramid.shape = images[0].shape
+        pyramid.images = list(images)
+        memo: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(images)
+        if gradients is not None:
+            if len(gradients) != len(images):
+                raise ValueError("gradients must pair one (Ix, Iy) per level")
+            for level, pair in enumerate(gradients):
+                memo[level] = (pair[0], pair[1])
+        pyramid._gradients = memo
+        return pyramid
+
     @property
     def levels(self) -> int:
         return len(self.images)
+
+    def prefix(self, levels: int) -> "FramePyramid":
+        """A pyramid limited to the first ``levels`` levels, sharing storage.
+
+        :func:`~repro.vision.image.build_pyramid` is iterative — level
+        ``i`` never depends on how many levels were requested — so the
+        prefix of a deeper pyramid is bit-identical to building the
+        shallower one directly.  The returned object shares this
+        pyramid's images *and* its gradient memo (a gradient computed
+        through either is visible to both), which is what lets a tracker
+        tier requesting fewer levels reuse a deeper tier's warmed work.
+        """
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        if levels >= self.levels:
+            return self
+        return _PyramidPrefix(self, levels)
 
     def gradients(self, level: int) -> tuple[np.ndarray, np.ndarray]:
         cached = self._gradients[level]
@@ -106,6 +151,31 @@ class FramePyramid:
         with warming enabled) pay the gradient cost up front, off the
         consumer's critical path.
         """
+        for level in range(self.levels):
+            self.gradients(level)
+
+
+class _PyramidPrefix(FramePyramid):
+    """A truncated view of a deeper :class:`FramePyramid`.
+
+    Must be a real ``FramePyramid`` instance: :func:`track_features` and
+    the block matcher ``isinstance``-check their pyramid arguments and
+    clamp to ``min(prev.levels, next.levels)``, so handing a consumer the
+    *deeper* parent would change which levels run.  Gradient calls
+    delegate to the parent so the memo is shared in both directions.
+    """
+
+    def __init__(self, parent: FramePyramid, levels: int) -> None:
+        self._parent = parent
+        self.shape = parent.shape
+        self.images = parent.images[:levels]
+
+    def gradients(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        if level >= len(self.images):
+            raise IndexError(f"level {level} out of range for {len(self.images)}-level prefix")
+        return self._parent.gradients(level)
+
+    def warm_gradients(self) -> None:
         for level in range(self.levels):
             self.gradients(level)
 

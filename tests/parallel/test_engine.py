@@ -262,3 +262,80 @@ class TestStoreModes:
             if record["kind"] == "counter"
         }
         assert "sweep.store_lease_waits" in counters
+
+
+class TestArtifactStoreModes:
+    """Which derived-artifact store backs a sweep, and its contracts."""
+
+    def _run(self, jobs, artifact_mb, frames=24, obs=None):
+        from repro.core.config import PipelineConfig
+        from repro.vision.artifact_store import configure_default
+
+        config = (
+            PipelineConfig(artifact_store_mb=artifact_mb)
+            if artifact_mb is not None
+            else None
+        )
+        try:
+            return run_sweep(
+                _METHODS,
+                _small_suite(frames=frames),
+                jobs=jobs,
+                config=config,
+                obs=obs,
+            )
+        finally:
+            configure_default(0)  # don't leak the budget into other tests
+
+    def test_no_budget_reports_none(self):
+        assert self._run(jobs=1, artifact_mb=None).artifact_store_mode == "none"
+        assert self._run(jobs=1, artifact_mb=0).artifact_store_mode == "none"
+
+    def test_sequential_budgeted_sweep_uses_private_store(self):
+        sweep = self._run(jobs=1, artifact_mb=256)
+        assert sweep.artifact_store_mode == "private"
+        # Method arms revisit each clip's pyramids: the second arm is
+        # served from the store instead of rebuilding.
+        assert sweep.artifact_hits > 0
+        assert sweep.artifact_misses > 0
+
+    def test_pool_budgeted_sweep_uses_shared_store(self):
+        from repro.video.framestore import shared_store_available
+
+        sweep = self._run(jobs=2, artifact_mb=256)
+        expected = "shared" if shared_store_available() else "private"
+        assert sweep.artifact_store_mode == expected
+
+    def test_store_never_changes_results(self):
+        with_store = self._run(jobs=1, artifact_mb=256)
+        without_store = self._run(jobs=1, artifact_mb=0)
+        for name in _METHODS:
+            assert (
+                with_store.results[name].per_video_accuracy
+                == without_store.results[name].per_video_accuracy
+            )
+            assert (
+                with_store.results[name].per_video_mean_f1
+                == without_store.results[name].per_video_mean_f1
+            )
+
+    def test_pyramid_and_artifact_counters_funnelled_to_obs(self):
+        obs = Telemetry(InMemorySink())
+        sweep = self._run(jobs=1, artifact_mb=256, frames=12, obs=obs)
+        assert sweep.pyramid_misses > 0
+        obs.flush()
+        counters = {
+            record["name"]
+            for record in obs.sink.last_metrics()
+            if record["kind"] == "counter"
+        }
+        for name in (
+            "sweep.artifact_hits",
+            "sweep.artifact_misses",
+            "sweep.artifact_evicted_bytes",
+            "sweep.artifact_lease_waits",
+            "sweep.pyramid_hits",
+            "sweep.pyramid_misses",
+            "sweep.pyramid_evictions",
+        ):
+            assert name in counters, name

@@ -161,3 +161,55 @@ class TestStoreBudgetValidation:
         before = default_store().max_bytes
         self._spec(7).build()
         assert default_store().max_bytes == before
+
+
+class TestArtifactStoreBudgetValidation:
+    """The artifact-store budget rides the same ClipSpec/validation path
+    as the frame store's, selected via the ``attr`` parameter."""
+
+    def _spec(self, frame_mb=None, artifact_mb=None):
+        clip = make_clip("intersection", seed=1, num_frames=2)
+        return ClipSpec.from_clip(
+            clip, frame_store_mb=frame_mb, artifact_store_mb=artifact_mb
+        )
+
+    def test_from_clip_carries_artifact_budget(self):
+        assert self._spec(artifact_mb=96).artifact_store_mb == 96
+        assert self._spec().artifact_store_mb is None
+
+    def test_budgets_validated_independently(self):
+        from repro.parallel import validate_store_budgets
+
+        specs = [
+            self._spec(frame_mb=32, artifact_mb=64),
+            self._spec(frame_mb=32, artifact_mb=128),
+        ]
+        # Frame budgets agree; only the artifact attr conflicts.
+        assert validate_store_budgets(specs) == 32
+        with pytest.raises(ValueError, match="conflicting artifact_store_mb"):
+            validate_store_budgets(specs, attr="artifact_store_mb")
+
+    def test_uniform_artifact_budget_accepted(self):
+        from repro.parallel import validate_store_budgets
+
+        specs = [self._spec(artifact_mb=None), self._spec(artifact_mb=256)]
+        assert validate_store_budgets(specs, attr="artifact_store_mb") == 256
+
+    def test_artifact_store_config_round_trips_on_shard_spec(self):
+        from repro.parallel import StoreConfig
+        from repro.video.framestore import StoreToken
+
+        spec = ShardSpec(
+            index=0,
+            method=MethodSpec(name="adavp"),
+            clip=self._spec(artifact_mb=64),
+            clip_index=0,
+            artifact_store=StoreConfig(
+                mode="shared",
+                budget_bytes=8192,
+                token=StoreToken(control="reproas_1_cd", lock_path="/tmp/b.lock"),
+            ),
+        )
+        restored = pickle.loads(pickle.dumps(spec))
+        assert restored == spec
+        assert restored.artifact_store.token.control == "reproas_1_cd"

@@ -86,6 +86,42 @@ class TestRunMacroBenchmark:
         assert store["sequential"] == zeros
         assert store["parallel"] == zeros
 
+    def test_artifact_store_counters(self, macro_doc):
+        """The derived-artifact store block: the enabled warm-up builds
+        each pyramid at most once per arm, and later arms are served from
+        the store (hits > 0 even sequentially, because the grid's method
+        arms revisit the same clips)."""
+        bench = macro_doc["benches"][0]
+        store = bench["artifact_store"]
+        assert store["budget_mb"] == 384
+        assert store["disabled_sequential_best_s"] > 0
+        assert store["enabled_speedup"] > 0
+        for arm in ("sequential", "parallel"):
+            entry = store[arm]
+            assert entry["misses"] > 0
+            assert entry["hits"] >= 0
+            assert entry["pyramid_cache_misses"] > 0
+
+    def test_artifact_store_arms_record_their_mode(self, macro_doc):
+        from repro.video.framestore import shared_store_available
+
+        store = macro_doc["benches"][0]["artifact_store"]
+        assert store["sequential"]["store_mode"] == "private"
+        expected = "shared" if shared_store_available() else "private"
+        assert store["parallel"]["store_mode"] == expected
+
+    def test_disabled_artifact_store_records_zero_counters(self):
+        doc = run_macro_benchmark(
+            jobs=2, repeats=1, quick=True, artifact_store_mb=0
+        )
+        store = doc["benches"][0]["artifact_store"]
+        assert store["budget_mb"] == 0
+        for arm in ("sequential", "parallel"):
+            entry = store[arm]
+            assert entry["store_mode"] == "none"
+            assert entry["hits"] == 0 and entry["misses"] == 0
+            assert entry["evicted_bytes"] == 0
+
     def test_document_is_json_serialisable(self, macro_doc, tmp_path):
         path = tmp_path / "BENCH_macro.json"
         write_bench_json(macro_doc, str(path))
@@ -224,6 +260,58 @@ class TestStoreHitRatioGate:
             entry.pop("lease_waits", None)
         assert validate_macro_doc(doc) == [MACRO_BENCH_NAME]
         assert validate_macro_doc(doc, min_store_hit_ratio=0.0) == [MACRO_BENCH_NAME]
+
+
+class TestArtifactHitRatioGate:
+    """--min-artifact-hit-ratio: the one-sided parallel-vs-sequential
+    parity gate, one layer up from --min-store-hit-ratio."""
+
+    def test_parity_passes(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["artifact_store"]
+        store["sequential"]["hits"] = 74
+        store["parallel"]["hits"] = 74
+        assert validate_macro_doc(doc, min_artifact_hit_ratio=0.9) == [
+            MACRO_BENCH_NAME
+        ]
+
+    def test_cold_parallel_store_fails(self, macro_doc):
+        """The motivating shape: per-worker private artifact stores would
+        show near-zero parallel hits against a warm sequential arm."""
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["artifact_store"]
+        store["sequential"]["hits"] = 74
+        store["parallel"]["hits"] = 3
+        with pytest.raises(ValueError, match="artifact_store hits 3 below"):
+            validate_macro_doc(doc, min_artifact_hit_ratio=0.9)
+
+    def test_gate_is_one_sided(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        store = doc["benches"][0]["artifact_store"]
+        store["sequential"]["hits"] = 50
+        store["parallel"]["hits"] = 200
+        assert validate_macro_doc(doc, min_artifact_hit_ratio=0.9) == [
+            MACRO_BENCH_NAME
+        ]
+
+    def test_gate_without_block_is_an_error(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        del doc["benches"][0]["artifact_store"]
+        with pytest.raises(ValueError, match="no artifact_store block"):
+            validate_macro_doc(doc, min_artifact_hit_ratio=0.9)
+
+    def test_legacy_doc_without_block_still_validates(self, macro_doc):
+        """Documents written before the artifact store lack the block;
+        the ungated schema must keep accepting them."""
+        doc = copy.deepcopy(macro_doc)
+        del doc["benches"][0]["artifact_store"]
+        assert validate_macro_doc(doc) == [MACRO_BENCH_NAME]
+
+    def test_unknown_artifact_store_mode_rejected(self, macro_doc):
+        doc = copy.deepcopy(macro_doc)
+        doc["benches"][0]["artifact_store"]["parallel"]["store_mode"] = "global"
+        with pytest.raises(ValueError, match="unknown store_mode"):
+            validate_macro_doc(doc)
 
 
 class TestMergeSweepBench:
